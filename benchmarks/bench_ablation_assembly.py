@@ -1,0 +1,40 @@
+"""Bench: assembly ablation — phi sweep and the combination heuristic.
+
+The full paper studies how the failure budget phi trades time for quality
+and evaluates the evolutionary combination.  Shape checks: quality is
+monotone (non-worsening) in phi on average, time grows with phi, and
+multistart+combination is at least as good as multistart alone.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.experiments import ablation_assembly
+
+from .conftest import QUICK, RUNS, write_result
+
+NAME = "small_like" if QUICK else "belgium_like"
+
+
+def _run():
+    return ablation_assembly(NAME, U=256, runs=max(2, RUNS))
+
+
+def test_ablation_assembly(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out = render_table(
+        ["setting", "best", "avg", "worst", "time [s]"],
+        [
+            (r["setting"], r["cost"].best, round(r["cost"].avg, 1), r["cost"].worst, round(r["time"], 2))
+            for r in rows
+        ],
+        title=f"Ablation: assembly parameters on {NAME}, U=256",
+    )
+    write_result("ablation_assembly", out)
+
+    by = {r["setting"]: r for r in rows}
+    # more phi -> better or equal quality, more time
+    assert by["phi=64"]["cost"].avg <= by["phi=1"]["cost"].avg
+    assert by["phi=64"]["time"] >= by["phi=1"]["time"]
+    # combination does not hurt quality
+    on = by["multistart=4, combination=on"]["cost"].avg
+    off = by["multistart=4, combination=off"]["cost"].avg
+    assert on <= off * 1.1 + 1

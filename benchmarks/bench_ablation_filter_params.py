@@ -1,0 +1,41 @@
+"""Bench: filtering parameter ablation (the full paper's alpha / f / C study).
+
+Sweeps alpha, f and the coverage C around the paper defaults (alpha=1,
+f=10, C=2) and reports fragment counts, solution cost and time.  Shape
+checks: smaller alpha -> more fragments (smaller BFS trees, more cuts);
+larger C -> at least as many marked edges (more fragments), better or equal
+quality.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.experiments import ablation_filter_params
+
+from .conftest import QUICK, write_result
+
+NAME = "small_like" if QUICK else "belgium_like"
+
+
+def _run():
+    return ablation_filter_params(NAME, U=256)
+
+
+def test_ablation_filter_params(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out = render_table(
+        ["param", "value", "|V'|", "cost", "cells", "time [s]"],
+        [
+            (r["param"], r["value"], r["v_prime"], r["cost"], r["cells"], round(r["time"], 1))
+            for r in rows
+        ],
+        title=f"Ablation: filtering parameters on {NAME}, U=256 (defaults alpha=1, f=10, C=2)",
+    )
+    write_result("ablation_filter_params", out)
+
+    by = {(r["param"], r["value"]): r for r in rows}
+    # smaller alpha -> smaller trees -> more fragments survive
+    assert by[("alpha", 0.5)]["v_prime"] >= by[("alpha", 1.0)]["v_prime"]
+    # more coverage -> more marked edges -> at least as many fragments
+    assert by[("coverage", 3)]["v_prime"] >= by[("coverage", 1)]["v_prime"]
+    # every configuration produces a feasible, sane solution
+    for r in rows:
+        assert r["cost"] > 0 and r["cells"] >= 1

@@ -1,0 +1,75 @@
+"""Bench (application-level, beyond the paper's tables): CRP overlay size.
+
+PUNCH exists to make CRP overlays small (paper introduction + citation
+[7]).  This bench sweeps U and reports cut size, boundary vertices, clique
+edges and mean query search space, asserting the application-level shape:
+larger cells -> smaller overlay but larger in-cell searches, and PUNCH's
+overlay beats a region-growing partition's at equal U.
+"""
+
+import numpy as np
+
+from repro import PunchConfig, run_punch
+from repro.analysis import render_table
+from repro.analysis.experiments import SCALED_ASSEMBLY
+from repro.baselines import region_growing_partition
+from repro.core import Partition
+from repro.crp import build_overlay, crp_query, dijkstra
+from repro.synthetic import instance
+
+from .conftest import QUICK, write_result
+
+NAME = "mini_like" if QUICK else "belgium_like"
+U_VALUES = (64,) if QUICK else (128, 256, 512)
+
+
+def _run():
+    g = instance(NAME)
+    rng = np.random.default_rng(7)
+    queries = [tuple(int(x) for x in rng.choice(g.n, 2, replace=False)) for _ in range(15)]
+    base = float(np.mean([dijkstra(g, s, targets=[t])[1] for s, t in queries]))
+    rows = []
+    for U in U_VALUES:
+        p = run_punch(g, U, PunchConfig(assembly=SCALED_ASSEMBLY, seed=1)).partition
+        ov = build_overlay(p)
+        scans = float(np.mean([crp_query(ov, s, t)[1] for s, t in queries]))
+        rows.append(
+            dict(method="PUNCH", U=U, cut=p.cost, boundary=ov.num_boundary_vertices,
+                 clique=ov.clique_edges, scans=scans)
+        )
+    U = U_VALUES[-1]
+    p = Partition(g, region_growing_partition(g, U, np.random.default_rng(1)))
+    ov = build_overlay(p)
+    scans = float(np.mean([crp_query(ov, s, t)[1] for s, t in queries]))
+    rows.append(
+        dict(method="region-growing", U=U, cut=p.cost, boundary=ov.num_boundary_vertices,
+             clique=ov.clique_edges, scans=scans)
+    )
+    return rows, base
+
+
+def test_crp_overlay(benchmark):
+    rows, base = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out = render_table(
+        ["method", "U", "cut", "boundary |V|", "clique edges", "scan/query"],
+        [
+            (r["method"], r["U"], r["cut"], r["boundary"], r["clique"], round(r["scans"]))
+            for r in rows
+        ],
+        title=f"CRP overlays on {NAME} (plain Dijkstra: {base:.0f} settled/query)",
+    )
+    write_result("crp_overlay", out)
+
+    punch = [r for r in rows if r["method"] == "PUNCH"]
+    # larger U -> fewer cut edges and boundary vertices
+    cuts = [r["cut"] for r in punch]
+    assert cuts == sorted(cuts, reverse=True)
+    # CRP beats plain Dijkstra's search space at every U
+    for r in punch:
+        assert r["scans"] < base
+    # PUNCH's overlay beats region growing's at equal U
+    rg = rows[-1]
+    same_U = [r for r in punch if r["U"] == rg["U"]]
+    if same_U:
+        assert same_U[0]["boundary"] < rg["boundary"]
+        assert same_U[0]["clique"] < rg["clique"]

@@ -1,0 +1,49 @@
+"""Bench: regenerate the quantities behind paper Fig. 1 (natural-cut anatomy).
+
+Fig. 1 illustrates one natural cut: a BFS tree grown to ``alpha*U``, its
+core (the first ``alpha*U/f``), the ring, and the min core-ring cut.  This
+bench measures those quantities over a full coverage sweep and asserts the
+geometry the figure depicts: core ~ tree/f, nontrivial rings, and cut
+values far below the trivial bound (cutting around the core).
+"""
+
+from repro.analysis import render_table
+from repro.analysis.experiments import fig1_natural_cut_anatomy
+
+from .conftest import QUICK, write_result
+
+NAME = "small_like" if QUICK else "europe_like"
+U = 256 if QUICK else 1024
+
+
+def _run():
+    return fig1_natural_cut_anatomy(NAME, U=U, alpha=1.0, f=10.0)
+
+
+def test_fig1_anatomy(benchmark):
+    d = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        (metric, a.best, round(a.avg, 1), a.worst)
+        for metric, a in (
+            ("tree size", d["tree_size"]),
+            ("core size", d["core_size"]),
+            ("ring size", d["ring_size"]),
+            ("cut value", d["cut_value"]),
+        )
+    ]
+    out = render_table(
+        ["metric", "min", "avg", "max"],
+        rows,
+        title=(
+            f"Fig. 1 (quantified): natural-cut anatomy on {NAME}, U={U}, "
+            f"alpha=1, f=10 ({d['centers']} centers, {d['exhausted']} exhausted)"
+        ),
+    )
+    write_result("fig1_natural_cut_anatomy", out)
+
+    # the geometry of Fig. 1
+    assert d["centers"] > 0
+    assert d["core_size"].avg <= d["tree_size"].avg / 5  # core ~ tree / f
+    assert d["tree_size"].worst <= U + U  # bounded growth
+    assert d["cut_value"].avg < d["ring_size"].avg + d["core_size"].avg
+    assert d["cut_value"].best >= 1  # connected graph: no free cuts

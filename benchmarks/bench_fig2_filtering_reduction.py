@@ -1,0 +1,50 @@
+"""Bench: regenerate paper Fig. 2 — the filtering phase's graph reduction.
+
+Fig. 2 shows the input graph collapsing to the fragment graph.  This bench
+quantifies it per U: vertices after tiny cuts, fragments, surviving edges,
+and the reduction factor; shape-checked against the paper's observation
+that reduction grows with U ("more edges are marked when U is small").
+"""
+
+from repro.analysis import render_table
+from repro.analysis.experiments import fig2_filtering_reduction
+
+from .conftest import QUICK, T1_U, write_result
+
+NAME = "small_like" if QUICK else "europe_like"
+
+
+def _run():
+    return fig2_filtering_reduction(NAME, U_values=T1_U)
+
+
+def test_fig2_filtering_reduction(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out = render_table(
+        ["U", "|V| in", "|E| in", "after tiny", "|V'| frags", "|E'|", "reduction", "max frag"],
+        [
+            (
+                r["U"],
+                r["n_in"],
+                r["m_in"],
+                r["n_tiny"],
+                r["n_frag"],
+                r["m_frag"],
+                round(r["reduction"], 1),
+                r["max_fragment"],
+            )
+            for r in rows
+        ],
+        title=f"Fig. 2 (quantified): filtering reduction on {NAME}",
+    )
+    write_result("fig2_filtering_reduction", out)
+
+    # reduction grows with U
+    fragments = [r["n_frag"] for r in rows]
+    assert fragments == sorted(fragments, reverse=True)
+    assert rows[-1]["reduction"] > 4 * rows[0]["reduction"] / 2
+    # the alpha <= 1 guarantee: no fragment exceeds U
+    for r in rows:
+        assert r["max_fragment"] <= r["U"]
+    # tiny cuts alone already shrink the graph
+    assert all(r["n_tiny"] <= r["n_in"] for r in rows)

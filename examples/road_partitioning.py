@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Domain example: partition a country-scale road network and compare
+PUNCH against baseline partitioners on cut quality, feasibility and speed.
+
+This is the paper's motivating scenario (route planning preprocessing, data
+distribution): cells must respect a size bound, should be connected, and the
+number of boundary edges is the cost everything downstream pays.
+
+Run:  python examples/road_partitioning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import PunchConfig, run_punch
+from repro.analysis import render_table
+from repro.baselines import multilevel_partition_U, region_growing_partition
+from repro.core import Partition
+from repro.core.config import AssemblyConfig
+from repro.synthetic import road_network
+
+
+def main() -> None:
+    g = road_network(n_target=8000, n_cities=25, seed=11)
+    U = 512
+    print(f"road network: {g.n} vertices, {g.m} edges; cell bound U = {U}\n")
+
+    rows = []
+
+    t0 = time.perf_counter()
+    res = run_punch(g, U, PunchConfig(assembly=AssemblyConfig(multistart=2, phi=16), seed=1))
+    rows.append(
+        (
+            "PUNCH",
+            f"{res.cost:g}",
+            res.num_cells,
+            res.partition.max_cell_size(),
+            "yes" if res.partition.all_cells_connected() else "no",
+            f"{time.perf_counter() - t0:.1f}",
+        )
+    )
+
+    t0 = time.perf_counter()
+    p = Partition(g, multilevel_partition_U(g, U, np.random.default_rng(1)))
+    rows.append(
+        (
+            "multilevel (MGP)",
+            f"{p.cost:g}",
+            p.num_cells,
+            p.max_cell_size(),
+            "yes" if p.all_cells_connected() else "no",
+            f"{time.perf_counter() - t0:.1f}",
+        )
+    )
+
+    t0 = time.perf_counter()
+    p = Partition(g, region_growing_partition(g, U, np.random.default_rng(1)))
+    rows.append(
+        (
+            "region growing",
+            f"{p.cost:g}",
+            p.num_cells,
+            p.max_cell_size(),
+            "yes" if p.all_cells_connected() else "no",
+            f"{time.perf_counter() - t0:.1f}",
+        )
+    )
+
+    print(
+        render_table(
+            ["method", "cut edges", "cells", "max cell", "connected", "time [s]"],
+            rows,
+            title=f"U-bounded partitioning, U={U} (lower bound {-(-g.n // U)} cells)",
+        )
+    )
+    print(
+        "\nExpected shape (paper Section 5/6): PUNCH produces the smallest cut"
+        "\nwith connected cells; generic MGP is fast but cuts more edges; naive"
+        "\nregion growing is far worse."
+    )
+
+
+if __name__ == "__main__":
+    main()

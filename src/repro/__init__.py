@@ -1,0 +1,54 @@
+"""repro — a pure-Python reproduction of PUNCH (Graph Partitioning with
+Natural Cuts; Delling, Goldberg, Razenshteyn, Werneck; IPDPS 2011).
+
+Quickstart::
+
+    from repro import build_graph, run_punch
+    g = build_graph(n, edge_u, edge_v)
+    result = run_punch(g, U=1024)
+    print(result.partition.cost, result.partition.num_cells)
+
+Balanced partitions (k cells, imbalance epsilon)::
+
+    from repro import run_balanced_punch
+    result = run_balanced_punch(g, k=16, epsilon=0.03)
+
+See ``repro.synthetic`` for road-network-like inputs, ``repro.baselines``
+for comparison partitioners, and DESIGN.md for the paper-to-module map.
+"""
+
+from .core import (
+    AssemblyConfig,
+    BalancedConfig,
+    BalancedResult,
+    FilterConfig,
+    Partition,
+    PunchConfig,
+    PunchResult,
+    run_punch,
+)
+from .graph import Graph, build_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "build_graph",
+    "run_punch",
+    "run_balanced_punch",
+    "Partition",
+    "PunchResult",
+    "BalancedResult",
+    "PunchConfig",
+    "FilterConfig",
+    "AssemblyConfig",
+    "BalancedConfig",
+    "__version__",
+]
+
+
+def run_balanced_punch(*args, **kwargs):
+    """Balanced PUNCH (paper Section 4); see repro.balanced.driver."""
+    from .balanced.driver import run_balanced_punch as _impl
+
+    return _impl(*args, **kwargs)

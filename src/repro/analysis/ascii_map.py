@@ -1,0 +1,56 @@
+"""ASCII rendering of partitions over embedded graphs.
+
+With no plotting stack available offline, a terminal heatmap is the next
+best thing: each character cell shows the dominant partition cell among
+the graph vertices that fall into it.  Good enough to eyeball whether a
+partition follows the planted geography (rivers, highways, city borders).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["ascii_partition_map"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def ascii_partition_map(
+    g: Graph,
+    labels: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render a labeling as a character grid (requires ``g.coords``)."""
+    if g.coords is None:
+        raise ValueError("ascii map requires vertex coordinates")
+    labels = np.asarray(labels)
+    xy = g.coords
+    x0, y0 = xy.min(axis=0)
+    x1, y1 = xy.max(axis=0)
+    spanx = max(x1 - x0, 1e-12)
+    spany = max(y1 - y0, 1e-12)
+    col = np.minimum(((xy[:, 0] - x0) / spanx * (width - 1)).astype(int), width - 1)
+    row = np.minimum(((xy[:, 1] - y0) / spany * (height - 1)).astype(int), height - 1)
+
+    k = int(labels.max()) + 1 if len(labels) else 0
+    # dominant label per character cell
+    grid = np.full((height, width), -1, dtype=np.int64)
+    counts: dict = {}
+    for r, c, l in zip(row, col, labels):
+        key = (int(r), int(c))
+        bucket = counts.setdefault(key, {})
+        bucket[int(l)] = bucket.get(int(l), 0) + 1
+    for (r, c), bucket in counts.items():
+        grid[r, c] = max(bucket, key=bucket.get)
+
+    lines = []
+    for r in range(height):
+        chars = []
+        for c in range(width):
+            v = grid[r, c]
+            chars.append(" " if v < 0 else _GLYPHS[v % len(_GLYPHS)])
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,554 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each function reproduces one exhibit at the scaled-down operating point
+documented in DESIGN.md (synthetic ``*_like`` instances, fewer repetitions,
+reduced ``phi`` budgets — pure-Python constants differ from the paper's C++,
+the *shape* is what we check).  The benchmark files under ``benchmarks/``
+are thin wrappers around these drivers, so the same code also backs
+EXPERIMENTS.md.
+
+Scaled defaults vs the paper:
+
+===================  =======================  ==========================
+quantity             paper                    here (default)
+===================  =======================  ==========================
+instances            18M-50M vertices         1.4k-20k vertex analogs
+Table 1 U sweep      2^10 .. 2^22             2^6 .. 2^12
+runs per config      50 (T1) / 9 (T2-4)       3
+phi (unbalanced)     512                      64
+phi (rebalance)      128                      32
+strong starts        ceil(256/k)              ceil(32/k)
+default starts       ceil(32/k)               ceil(8/k)
+rebalances/solution  50                       8
+===================  =======================  ==========================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..balanced.driver import balanced_cell_bound, balanced_from_fragments
+from ..core.config import AssemblyConfig, BalancedConfig, FilterConfig, PunchConfig
+from ..core.punch import run_punch
+from ..filtering.pipeline import run_filtering
+from ..synthetic.instances import STREET_NAMES, TABLE1_NAMES, instance
+from .stats import aggregate
+from .tables import render_table
+
+__all__ = [
+    "table1_unbalanced",
+    "render_table1",
+    "balanced_tables",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "fig1_natural_cut_anatomy",
+    "fig2_filtering_reduction",
+    "fig3_local_search_variants",
+    "ablation_filter_params",
+    "ablation_assembly",
+    "baseline_comparison",
+    "DEFAULT_T1_U",
+    "DEFAULT_KS",
+    "SCALED_ASSEMBLY",
+    "SCALED_BALANCED",
+    "SCALED_BALANCED_STRONG",
+]
+
+DEFAULT_T1_U = (64, 256, 1024, 4096)
+DEFAULT_KS = (2, 4, 8, 16, 32, 64)
+
+#: pure-Python-scaled phi budgets (see module docstring)
+SCALED_ASSEMBLY = AssemblyConfig(phi=16)
+SCALED_BALANCED = BalancedConfig(
+    starts_numerator=8,
+    rebalance_attempts=8,
+    phi_unbalanced=64,
+    phi_rebalance=32,
+)
+SCALED_BALANCED_STRONG = replace(SCALED_BALANCED, starts_numerator=32)
+
+
+# ----------------------------------------------------------------------
+# Table 1: unbalanced PUNCH, varying U
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    """One row of the Table 1 reproduction (one graph, one U)."""
+    graph: str
+    U: int
+    lb: int
+    cells_avg: float
+    v_prime: float
+    best: float
+    avg: float
+    worst: float
+    t_tiny: float
+    t_natural: float
+    t_assembly: float
+    t_total: float
+
+
+def table1_unbalanced(
+    names: Sequence[str] = TABLE1_NAMES,
+    U_values: Sequence[int] = DEFAULT_T1_U,
+    runs: int = 3,
+    seed: int = 0,
+    config: Optional[PunchConfig] = None,
+) -> List[Table1Row]:
+    """Reproduce Table 1: performance of PUNCH for varying cell sizes."""
+    config = PunchConfig(assembly=SCALED_ASSEMBLY) if config is None else config
+    rows: List[Table1Row] = []
+    for name in names:
+        g = instance(name)
+        for U in U_values:
+            costs, cells, vprime = [], [], []
+            t_t = t_n = t_a = 0.0
+            for r in range(runs):
+                rng = np.random.default_rng(seed * 1_000_003 + hash((name, U, r)) % 2**31)
+                res = run_punch(g, U, config, rng=rng)
+                costs.append(res.cost)
+                cells.append(res.num_cells)
+                vprime.append(res.num_fragments)
+                t_t += res.time_tiny
+                t_n += res.time_natural
+                t_a += res.time_assembly
+            agg = aggregate(costs)
+            rows.append(
+                Table1Row(
+                    graph=name,
+                    U=U,
+                    lb=-(-g.total_size() // U),
+                    cells_avg=float(np.mean(cells)),
+                    v_prime=float(np.mean(vprime)),
+                    best=agg.best,
+                    avg=agg.avg,
+                    worst=agg.worst,
+                    t_tiny=t_t / runs,
+                    t_natural=t_n / runs,
+                    t_assembly=t_a / runs,
+                    t_total=(t_t + t_n + t_a) / runs,
+                )
+            )
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """Render Table 1 rows in the paper's column layout."""
+    return render_table(
+        ["graph", "U", "LB", "cells", "|V'|", "best", "avg", "worst", "tny", "nat", "asm", "total"],
+        [
+            (
+                r.graph,
+                r.U,
+                r.lb,
+                r.cells_avg,
+                r.v_prime,
+                r.best,
+                r.avg,
+                r.worst,
+                round(r.t_tiny, 1),
+                round(r.t_natural, 1),
+                round(r.t_assembly, 1),
+                round(r.t_total, 1),
+            )
+            for r in rows
+        ],
+        title="Table 1 (scaled): unbalanced PUNCH",
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 2-4: balanced PUNCH
+# ----------------------------------------------------------------------
+@dataclass
+class BalancedCell:
+    """Aggregated results for one (instance, k) pair under one config."""
+
+    best: float
+    median: float
+    avg_time: float
+    runs: int
+    feasible_runs: int
+
+
+@dataclass
+class BalancedTables:
+    """All data behind Tables 2, 3 and 4."""
+
+    default: Dict[str, Dict[int, BalancedCell]] = field(default_factory=dict)
+    strong: Dict[str, Dict[int, BalancedCell]] = field(default_factory=dict)
+    instance_meta: Dict[str, tuple] = field(default_factory=dict)  # name -> (|V|, |E|)
+
+
+def balanced_tables(
+    names: Sequence[str] = STREET_NAMES,
+    ks: Sequence[int] = DEFAULT_KS,
+    runs: int = 3,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    default_cfg: Optional[BalancedConfig] = None,
+    strong_cfg: Optional[BalancedConfig] = None,
+    share_filtering: bool = True,
+) -> BalancedTables:
+    """Reproduce the data behind Tables 2 (best, strong), 3 (default), 4 (strong).
+
+    With ``share_filtering`` (scaled protocol) the filtering phase runs once
+    per (instance, k) and its fragment graph is reused across runs and both
+    configurations; the per-run time then counts assembly + rebalancing plus
+    the amortized filtering share, mirroring how the paper amortizes
+    preprocessing in spirit while keeping pure-Python wall time sane.
+    """
+    default_cfg = SCALED_BALANCED if default_cfg is None else default_cfg
+    strong_cfg = SCALED_BALANCED_STRONG if strong_cfg is None else strong_cfg
+    out = BalancedTables()
+    for name in names:
+        g = instance(name)
+        out.instance_meta[name] = (g.n, g.m)
+        out.default[name] = {}
+        out.strong[name] = {}
+        for k in ks:
+            U_star = balanced_cell_bound(g.total_size(), k, epsilon)
+            rng = np.random.default_rng(seed * 7_777_777 + hash((name, k)) % 2**31)
+            t0 = time.perf_counter()
+            U_filter = max(int(g.vsize.max(initial=1)), U_star // default_cfg.filter_divisor)
+            filt = run_filtering(g, U_filter, default_cfg.filter, rng)
+            t_filter = time.perf_counter() - t0
+
+            refiltered = None  # lazily built U_filter/2 fallback (paper Sec. 4)
+            for cfg, bucket in ((default_cfg, out.default), (strong_cfg, out.strong)):
+                costs, times, feas = [], [], 0
+                for r in range(runs):
+                    rrng = np.random.default_rng(
+                        seed * 97 + hash((name, k, r, cfg.numerator)) % 2**31
+                    )
+                    t1 = time.perf_counter()
+                    try:
+                        res = balanced_from_fragments(
+                            g, filt.fragment_graph, filt.map, k, U_star, cfg, rrng
+                        )
+                    except RuntimeError:
+                        # the paper's remedy: "reduce the threshold during
+                        # filtering even further and start all over again"
+                        if refiltered is None:
+                            refiltered = run_filtering(
+                                g, max(1, U_filter // 2), cfg.filter, rrng
+                            )
+                        try:
+                            res = balanced_from_fragments(
+                                g,
+                                refiltered.fragment_graph,
+                                refiltered.map,
+                                k,
+                                U_star,
+                                cfg,
+                                rrng,
+                            )
+                        except RuntimeError:
+                            continue  # record the run as missing
+                    times.append(time.perf_counter() - t1 + t_filter / runs)
+                    costs.append(res.cost)
+                    if res.feasible():
+                        feas += 1
+                agg = aggregate(costs)
+                bucket[name][k] = BalancedCell(
+                    best=agg.best,
+                    median=agg.median,
+                    avg_time=float(np.mean(times)) if times else float("nan"),
+                    runs=runs,
+                    feasible_runs=feas,
+                )
+    return out
+
+
+def render_table2(data: BalancedTables, ks: Sequence[int] = DEFAULT_KS) -> str:
+    """Render Table 2: best balanced solutions of the strong config."""
+    rows = []
+    for name, cells in data.strong.items():
+        n, m = data.instance_meta[name]
+        rows.append([name, n, m] + [cells[k].best for k in ks if k in cells])
+    return render_table(
+        ["instance", "|V|", "|E|"] + [str(k) for k in ks],
+        rows,
+        title="Table 2 (scaled): best balanced solutions, strong PUNCH",
+    )
+
+
+def render_table3(data: BalancedTables, ks: Sequence[int] = DEFAULT_KS) -> str:
+    """Render Table 3: default balanced PUNCH, medians and times."""
+    return _render_median_time(data.default, data, ks, "Table 3 (scaled): default PUNCH, balanced")
+
+
+def render_table4(data: BalancedTables, ks: Sequence[int] = DEFAULT_KS) -> str:
+    """Render Table 4: strong balanced PUNCH, medians and times."""
+    return _render_median_time(data.strong, data, ks, "Table 4 (scaled): strong PUNCH, balanced")
+
+
+def _render_median_time(bucket, data: BalancedTables, ks, title: str) -> str:
+    rows = []
+    for name, cells in bucket.items():
+        med = [cells[k].median for k in ks if k in cells]
+        tim = [round(cells[k].avg_time, 1) for k in ks if k in cells]
+        rows.append([name] + med + tim)
+    headers = ["instance"] + [f"med k={k}" for k in ks] + [f"t k={k}" for k in ks]
+    return render_table(headers, rows, title=title)
+
+
+# ----------------------------------------------------------------------
+# Figure 1: anatomy of natural cuts
+# ----------------------------------------------------------------------
+def fig1_natural_cut_anatomy(
+    name: str = "europe_like",
+    U: int = 1024,
+    alpha: float = 1.0,
+    f: float = 10.0,
+    seed: int = 0,
+):
+    """Reproduce the quantities Fig. 1 illustrates: per-center BFS tree,
+    core, ring sizes and the resulting cut values, over one coverage sweep.
+    """
+    from ..filtering.cut_problem import solve_cut_problem
+    from ..filtering.natural_cuts import NaturalCutStats, collect_cut_problems
+
+    g = instance(name)
+    rng = np.random.default_rng(seed)
+    stats = NaturalCutStats()
+    problems = collect_cut_problems(g, U, alpha, f, rng, stats)
+    cut_values = [solve_cut_problem(p)[0] for p in problems]
+    return {
+        "instance": name,
+        "U": U,
+        "centers": stats.centers,
+        "tree_size": aggregate(stats.tree_sizes),
+        "core_size": aggregate(stats.core_sizes),
+        "ring_size": aggregate(stats.ring_sizes),
+        "cut_value": aggregate(cut_values),
+        "exhausted": stats.exhausted_regions,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 2: filtering reduction
+# ----------------------------------------------------------------------
+def fig2_filtering_reduction(
+    name: str = "europe_like",
+    U_values: Sequence[int] = DEFAULT_T1_U,
+    seed: int = 0,
+    config: Optional[FilterConfig] = None,
+):
+    """Reproduce Fig. 2 quantitatively: input -> fragment graph sizes per U."""
+    g = instance(name)
+    config = FilterConfig() if config is None else config
+    rows = []
+    for U in U_values:
+        rng = np.random.default_rng(seed + U)
+        res = run_filtering(g, U, config, rng)
+        rows.append(
+            {
+                "U": U,
+                "n_in": g.n,
+                "m_in": g.m,
+                "n_tiny": res.tiny_stats.n_after_pass3 if res.tiny_stats else g.n,
+                "n_frag": res.fragment_graph.n,
+                "m_frag": res.fragment_graph.m,
+                "reduction": res.reduction_factor,
+                "max_fragment": res.fragment_stats.max_fragment_size,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 3: local search variants
+# ----------------------------------------------------------------------
+def fig3_local_search_variants(
+    name: str = "europe_like",
+    U: int = 1024,
+    runs: int = 3,
+    seed: int = 0,
+    phi: int = 16,
+    variants: Sequence[str] = ("none", "L2", "L2+", "L2*"),
+):
+    """Compare the three local searches (and no LS) at fixed seeds."""
+    g = instance(name)
+    rng = np.random.default_rng(seed)
+    filt = run_filtering(g, U, FilterConfig(), rng)
+    out = []
+    from ..assembly.driver import run_assembly
+
+    for variant in variants:
+        costs, times = [], []
+        for r in range(runs):
+            rrng = np.random.default_rng(seed * 31 + r)
+            cfg = AssemblyConfig(local_search=variant, phi=phi)
+            t0 = time.perf_counter()
+            res = run_assembly(filt.fragment_graph, U, cfg, rrng)
+            times.append(time.perf_counter() - t0)
+            costs.append(res.cost)
+        out.append(
+            {
+                "variant": variant,
+                "cost": aggregate(costs),
+                "time": float(np.mean(times)),
+            }
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Ablations (full-paper parameter study)
+# ----------------------------------------------------------------------
+def ablation_filter_params(
+    name: str = "belgium_like",
+    U: int = 256,
+    alphas: Sequence[float] = (0.5, 1.0),
+    fs: Sequence[float] = (4.0, 10.0, 20.0),
+    Cs: Sequence[int] = (1, 2, 3),
+    seed: int = 0,
+):
+    """Sensitivity of filtering (|V'|) and final cost to alpha, f, C."""
+    g = instance(name)
+    rows = []
+    base = dict(alpha=1.0, f=10.0, coverage=2)
+    sweeps = (
+        [("alpha", a) for a in alphas]
+        + [("f", f_) for f_ in fs]
+        + [("coverage", c) for c in Cs]
+    )
+    for param, value in sweeps:
+        kv = dict(base)
+        kv[param] = value
+        cfg = PunchConfig(filter=FilterConfig(**kv), assembly=SCALED_ASSEMBLY)
+        rng = np.random.default_rng(seed + hash((param, value)) % 2**31)
+        res = run_punch(g, U, cfg, rng=rng)
+        rows.append(
+            {
+                "param": param,
+                "value": value,
+                "v_prime": res.num_fragments,
+                "cost": res.cost,
+                "cells": res.num_cells,
+                "time": res.time_total,
+            }
+        )
+    return rows
+
+
+def ablation_assembly(
+    name: str = "belgium_like",
+    U: int = 256,
+    phis: Sequence[int] = (1, 4, 16, 64),
+    seed: int = 0,
+    runs: int = 2,
+):
+    """phi sweep, combination on/off, and score-function ablation."""
+    g = instance(name)
+    rng = np.random.default_rng(seed)
+    filt = run_filtering(g, U, FilterConfig(), rng)
+    from ..assembly.driver import run_assembly
+
+    rows = []
+    for phi in phis:
+        costs, times = [], []
+        for r in range(runs):
+            rrng = np.random.default_rng(seed * 13 + r + phi)
+            t0 = time.perf_counter()
+            res = run_assembly(filt.fragment_graph, U, AssemblyConfig(phi=phi), rrng)
+            times.append(time.perf_counter() - t0)
+            costs.append(res.cost)
+        rows.append({"setting": f"phi={phi}", "cost": aggregate(costs), "time": float(np.mean(times))})
+    for combo in (False, True):
+        costs, times = [], []
+        for r in range(runs):
+            rrng = np.random.default_rng(seed * 17 + r + int(combo))
+            cfg = AssemblyConfig(phi=16, multistart=4, use_combination=combo)
+            t0 = time.perf_counter()
+            res = run_assembly(filt.fragment_graph, U, cfg, rrng)
+            times.append(time.perf_counter() - t0)
+            costs.append(res.cost)
+        rows.append(
+            {
+                "setting": f"multistart=4, combination={'on' if combo else 'off'}",
+                "cost": aggregate(costs),
+                "time": float(np.mean(times)),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (Section 6 context)
+# ----------------------------------------------------------------------
+def baseline_comparison(
+    name: str = "belgium_like",
+    U: int = 256,
+    seed: int = 0,
+):
+    """PUNCH vs multilevel vs region growing on the U-bounded problem,
+    plus inertial flow / FlowCutter / spectral on the matching k-cell
+    problem (they bound cell counts, not sizes)."""
+    from ..baselines import (
+        flowcutter_partition,
+        inertial_flow_partition,
+        multilevel_partition_U,
+        region_growing_partition,
+        spectral_partition,
+    )
+    from ..core.partition import Partition
+
+    g = instance(name)
+    rows = []
+
+    t0 = time.perf_counter()
+    res = run_punch(g, U, PunchConfig(assembly=SCALED_ASSEMBLY, seed=seed))
+    rows.append(
+        {
+            "method": "PUNCH",
+            "cost": res.cost,
+            "cells": res.num_cells,
+            "max_cell": res.partition.max_cell_size(),
+            "connected": res.partition.all_cells_connected(),
+            "time": time.perf_counter() - t0,
+        }
+    )
+    for label, fn in (
+        ("multilevel", lambda: multilevel_partition_U(g, U, np.random.default_rng(seed))),
+        ("region-growing", lambda: region_growing_partition(g, U, np.random.default_rng(seed))),
+    ):
+        t0 = time.perf_counter()
+        p = Partition(g, fn())
+        rows.append(
+            {
+                "method": label,
+                "cost": p.cost,
+                "cells": p.num_cells,
+                "max_cell": p.max_cell_size(),
+                "connected": p.all_cells_connected(),
+                "time": time.perf_counter() - t0,
+            }
+        )
+    # the bisection-based partitioners solve the k-cell problem; use the
+    # equivalent k for a like-for-like comparison of cut quality
+    k = max(2, -(-g.total_size() // U))
+    for label, fn in (
+        (f"inertial-flow (k={k})", lambda: inertial_flow_partition(g, k, rng=np.random.default_rng(seed))),
+        (f"flowcutter (k={k})", lambda: flowcutter_partition(g, k, rng=np.random.default_rng(seed))),
+        (f"spectral (k={k})", lambda: spectral_partition(g, k)),
+    ):
+        t0 = time.perf_counter()
+        p = Partition(g, fn())
+        rows.append(
+            {
+                "method": label,
+                "cost": p.cost,
+                "cells": p.num_cells,
+                "max_cell": p.max_cell_size(),
+                "connected": p.all_cells_connected(),
+                "time": time.perf_counter() - t0,
+            }
+        )
+    return rows

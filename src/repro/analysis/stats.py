@@ -1,0 +1,66 @@
+"""Partition statistics helpers used by experiments and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.partition import Partition
+
+__all__ = ["PartitionStats", "partition_stats", "aggregate"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary statistics of one partition."""
+    num_cells: int
+    cost: float
+    max_cell_size: int
+    min_cell_size: int
+    mean_cell_size: float
+    connected: bool
+
+    @staticmethod
+    def of(p: Partition) -> "PartitionStats":
+        """Measure a :class:`~repro.core.Partition`."""
+        sizes = p.cell_sizes
+        return PartitionStats(
+            num_cells=p.num_cells,
+            cost=p.cost,
+            max_cell_size=int(sizes.max()) if len(sizes) else 0,
+            min_cell_size=int(sizes.min()) if len(sizes) else 0,
+            mean_cell_size=float(sizes.mean()) if len(sizes) else 0.0,
+            connected=p.all_cells_connected(),
+        )
+
+
+def partition_stats(p: Partition) -> PartitionStats:
+    """Shorthand for :meth:`PartitionStats.of`."""
+    return PartitionStats.of(p)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """best / avg / worst / median over a sequence of measurements."""
+
+    best: float
+    avg: float
+    worst: float
+    median: float
+    count: int
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """best / avg / worst / median over the values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        return Aggregate(float("nan"), float("nan"), float("nan"), float("nan"), 0)
+    return Aggregate(
+        best=float(arr.min()),
+        avg=float(arr.mean()),
+        worst=float(arr.max()),
+        median=float(np.median(arr)),
+        count=len(arr),
+    )

@@ -1,0 +1,39 @@
+"""Fixed-width text tables in the visual style of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "fmt"]
+
+
+def fmt(x) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(x, float):
+        if x != x:  # NaN
+            return "-"
+        if abs(x) >= 1000 or x == int(x):
+            return f"{x:.0f}"
+        return f"{x:.1f}"
+    return str(x)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    srows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

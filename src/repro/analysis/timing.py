@@ -1,0 +1,40 @@
+"""Lightweight phase timing, per the hpc-parallel guide's measure-first rule."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    >>> t = PhaseTimer()
+    >>> with t.phase("nat"):
+    ...     pass
+    >>> "nat" in t.totals
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager accumulating wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - t0
+
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.totals.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.2f}s" for k, v in self.totals.items())
+        return f"PhaseTimer({parts})"

@@ -1,0 +1,32 @@
+"""Assembly phase of PUNCH: greedy, local search, multistart, combination."""
+
+from .cells import PartitionState
+from .combine import combine_solutions, perturbed_graph
+from .driver import AssemblyResult, run_assembly
+from .greedy import adjacency_of_graph, greedy_assemble, greedy_labels_for_graph
+from .instance import AuxInstance, build_aux_instance
+from .local_search import LocalSearchStats, local_search
+from .multistart import MultistartStats, multistart
+from .pool import ElitePool, Solution
+from .score import biased_r, pair_score
+
+__all__ = [
+    "run_assembly",
+    "AssemblyResult",
+    "multistart",
+    "MultistartStats",
+    "local_search",
+    "LocalSearchStats",
+    "PartitionState",
+    "build_aux_instance",
+    "AuxInstance",
+    "greedy_assemble",
+    "greedy_labels_for_graph",
+    "adjacency_of_graph",
+    "combine_solutions",
+    "perturbed_graph",
+    "ElitePool",
+    "Solution",
+    "biased_r",
+    "pair_score",
+]

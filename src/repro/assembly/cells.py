@@ -1,0 +1,168 @@
+"""Mutable partition state over the fragment graph.
+
+The local search views the current partition as a contracted graph ``H``
+(paper Section 3): one vertex per cell, edge weights summing the fragment
+edges between two cells.  This module maintains that view incrementally:
+cell membership, cell sizes, the weighted cell adjacency ``H``, and the
+partition cost, with localized updates when a reoptimization step replaces
+a few cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["PartitionState"]
+
+
+class PartitionState:
+    """Cells over a fragment graph, with the contracted view ``H``."""
+
+    def __init__(self, g: Graph, labels: np.ndarray) -> None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (g.n,):
+            raise ValueError("labels must assign every fragment")
+        self.g = g
+        _, dense = np.unique(labels, return_inverse=True)
+        self.labels = dense.astype(np.int64)
+        self.next_cell_id = int(dense.max()) + 1 if g.n else 0
+
+        self.cell_members: Dict[int, List[int]] = {}
+        for v, c in enumerate(self.labels):
+            self.cell_members.setdefault(int(c), []).append(v)
+        self.cell_size: Dict[int, int] = {
+            c: int(g.vsize[m].sum()) for c, m in self.cell_members.items()
+        }
+        self.H: Dict[int, Dict[int, float]] = {c: {} for c in self.cell_members}
+        lu = self.labels[g.edge_u]
+        lv = self.labels[g.edge_v]
+        cut = lu != lv
+        self.cost = float(g.ewgt[cut].sum())
+        for e in np.flatnonzero(cut):
+            a = int(lu[e])
+            b = int(lv[e])
+            w = float(g.ewgt[e])
+            self.H[a][b] = self.H[a].get(b, 0.0) + w
+            self.H[b][a] = self.H[b].get(a, 0.0) + w
+
+    # ------------------------------------------------------------------
+    def num_cells(self) -> int:
+        """Number of live cells."""
+        return len(self.cell_members)
+
+    def cells(self) -> Iterable[int]:
+        """Iterable of live cell ids."""
+        return self.cell_members.keys()
+
+    def adjacent_pairs(self) -> List[tuple]:
+        """All unordered adjacent cell pairs, canonically ordered."""
+        out = []
+        for a, row in self.H.items():
+            for b in row:
+                if a < b:
+                    out.append((a, b))
+        return out
+
+    def max_cell_size(self) -> int:
+        """Size of the largest cell."""
+        return max(self.cell_size.values(), default=0)
+
+    # ------------------------------------------------------------------
+    def replace_cells(
+        self, destroyed: Set[int], new_cells: Dict[int, List[int]]
+    ) -> None:
+        """Replace ``destroyed`` cells by ``new_cells`` (id -> fragments).
+
+        Fragments of the destroyed cells must exactly equal the fragments of
+        the new cells; ``H``, sizes, labels and cost are updated locally.
+        """
+        g = self.g
+        old_frags: Set[int] = set()
+        for c in destroyed:
+            old_frags.update(self.cell_members[c])
+        new_frags: Set[int] = set()
+        for mem in new_cells.values():
+            new_frags.update(mem)
+        if old_frags != new_frags:
+            raise ValueError("replacement does not cover the same fragments")
+
+        # drop destroyed rows and their mirror entries
+        for c in destroyed:
+            for d in self.H.pop(c, {}):
+                if d not in destroyed:
+                    self.H[d].pop(c, None)
+            del self.cell_members[c]
+            del self.cell_size[c]
+
+        for c, mem in new_cells.items():
+            self.cell_members[c] = list(mem)
+            self.cell_size[c] = int(g.vsize[list(mem)].sum())
+            for v in mem:
+                self.labels[v] = c
+            self.H.setdefault(c, {})
+
+        # rebuild rows of the new cells from the fragment graph
+        xadj, adjncy, eidw = g.xadj, g.adjncy, g.ewgt[g.eid]
+        for c, mem in new_cells.items():
+            row: Dict[int, float] = {}
+            for v in mem:
+                lo, hi = xadj[v], xadj[v + 1]
+                for y, w in zip(adjncy[lo:hi], eidw[lo:hi]):
+                    d = int(self.labels[y])
+                    if d != c:
+                        row[d] = row.get(d, 0.0) + float(w)
+            self.H[c] = row
+            for d, w in row.items():
+                self.H[d][c] = w
+        # mirror entries between two new cells were written twice with the
+        # same value; fix mutual consistency for pairs of new cells
+        for c in new_cells:
+            for d in list(self.H[c]):
+                if d in new_cells and self.H[d].get(c) != self.H[c][d]:
+                    self.H[d][c] = self.H[c][d]
+
+        # recompute cost contribution of touched pairs is implicit: callers
+        # adjust cost with the (old_internal - new_internal) delta they
+        # computed on the auxiliary instance.
+
+    def fresh_cell_id(self) -> int:
+        """Allocate a never-used cell id (ids are never recycled)."""
+        cid = self.next_cell_id
+        self.next_cell_id += 1
+        return cid
+
+    # ------------------------------------------------------------------
+    def recompute_cost(self) -> float:
+        """Cost from scratch (for verification in tests)."""
+        lu = self.labels[self.g.edge_u]
+        lv = self.labels[self.g.edge_v]
+        return float(self.g.ewgt[lu != lv].sum())
+
+    def check(self) -> None:
+        """Validate internal consistency; O(n + m), for tests."""
+        assert set(self.cell_members) == set(self.cell_size) == set(self.H)
+        seen = np.zeros(self.g.n, dtype=bool)
+        for c, mem in self.cell_members.items():
+            for v in mem:
+                assert self.labels[v] == c
+                assert not seen[v]
+                seen[v] = True
+            assert self.cell_size[c] == int(self.g.vsize[list(mem)].sum())
+        assert seen.all()
+        # H matches the labeling
+        ref: Dict[int, Dict[int, float]] = {c: {} for c in self.cell_members}
+        lu = self.labels[self.g.edge_u]
+        lv = self.labels[self.g.edge_v]
+        for e in np.flatnonzero(lu != lv):
+            a, b, w = int(lu[e]), int(lv[e]), float(self.g.ewgt[e])
+            ref[a][b] = ref[a].get(b, 0.0) + w
+            ref[b][a] = ref[b].get(a, 0.0) + w
+        for c in ref:
+            assert set(ref[c]) == set(self.H[c]), (c, ref[c], self.H[c])
+            for d in ref[c]:
+                assert abs(ref[c][d] - self.H[c][d]) < 1e-6
+        assert abs(self.cost - self.recompute_cost()) < 1e-6

@@ -1,0 +1,57 @@
+"""Assembly-phase orchestration: fragment graph in, partition out."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import AssemblyConfig
+from ..graph.graph import Graph
+from .multistart import MultistartStats, multistart
+from .pool import Solution
+
+__all__ = ["AssemblyResult", "run_assembly"]
+
+
+@dataclass
+class AssemblyResult:
+    """Best partition of the fragment graph plus instrumentation."""
+
+    solution: Solution
+    stats: MultistartStats
+    time_assembly: float
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Per-fragment cell labels of the best solution."""
+        return self.solution.labels
+
+    @property
+    def cost(self) -> float:
+        """Cut weight of the best solution."""
+        return self.solution.cost
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells in the best solution."""
+        return int(len(np.unique(self.solution.labels)))
+
+
+def run_assembly(
+    fragment_graph: Graph,
+    U: int,
+    config: AssemblyConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> AssemblyResult:
+    """Run greedy + local search (+ multistart/combination) on fragments."""
+    config = AssemblyConfig() if config is None else config
+    rng = np.random.default_rng() if rng is None else rng
+    if fragment_graph.n and int(fragment_graph.vsize.max()) > U:
+        raise ValueError("a fragment exceeds U; filtering did not respect the bound")
+    t0 = time.perf_counter()
+    solution, stats = multistart(fragment_graph, U, config, rng)
+    return AssemblyResult(
+        solution=solution, stats=stats, time_assembly=time.perf_counter() - t0
+    )

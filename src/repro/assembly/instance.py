@@ -1,0 +1,132 @@
+"""Auxiliary re-optimization instances for the local search.
+
+Each local-search step is defined by a pair ``{R, S}`` of adjacent cells and
+a variant (paper Fig. 3):
+
+- ``L2``  : the instance contains the *uncontracted* fragments of R and S.
+- ``L2+`` : additionally, every neighbor cell of R or S as one *contracted*
+  unit.
+- ``L2*`` : the neighbor cells are uncontracted as well.
+
+Edges to cells outside the instance contribute the same amount to the cut no
+matter how the instance is repartitioned, so they are omitted; the step
+compares only the *internal* cost before and after re-running the greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from .cells import PartitionState
+
+__all__ = ["AuxInstance", "build_aux_instance"]
+
+
+@dataclass
+class AuxInstance:
+    """A small contraction instance derived from a pair of cells.
+
+    ``unit_frags[i]`` lists the fragments behind unit ``i`` (a single
+    fragment for uncontracted units, a whole cell for contracted ones);
+    ``unit_cell[i]`` is the current cell of unit ``i``.  ``edges`` is the
+    internal (unit, unit, weight) list; ``uncontracted`` flags units that
+    are single fragments from uncontracted cells.
+    """
+
+    unit_sizes: np.ndarray
+    unit_frags: List[List[int]]
+    unit_cell: np.ndarray
+    edges: List[Tuple[int, int, float]]
+    uncontracted: np.ndarray
+
+    def adjacency(self) -> List[Dict[int, float]]:
+        """Adjacency-dict form consumed by the greedy."""
+        adj: List[Dict[int, float]] = [dict() for _ in range(len(self.unit_sizes))]
+        for a, b, w in self.edges:
+            adj[a][b] = adj[a].get(b, 0.0) + w
+            adj[b][a] = adj[b].get(a, 0.0) + w
+        return adj
+
+    def internal_cost(self, unit_groups: np.ndarray) -> float:
+        """Cut weight inside the instance under a unit grouping."""
+        return float(
+            sum(w for a, b, w in self.edges if unit_groups[a] != unit_groups[b])
+        )
+
+    @property
+    def current_internal_cost(self) -> float:
+        """Internal cut under the current cell assignment."""
+        return self.internal_cost(self.unit_cell)
+
+
+def build_aux_instance(
+    state: PartitionState, R: int, S: int, variant: str
+) -> AuxInstance:
+    """Build the auxiliary instance for pair ``{R, S}`` under ``variant``."""
+    if variant not in ("L2", "L2+", "L2*"):
+        raise ValueError(f"unknown local search variant {variant!r}")
+    g = state.g
+    neighbors: Set[int] = (set(state.H[R]) | set(state.H[S])) - {R, S}
+
+    if variant == "L2":
+        uncontracted_cells = [R, S]
+        contracted_cells: List[int] = []
+    elif variant == "L2+":
+        uncontracted_cells = [R, S]
+        contracted_cells = sorted(neighbors)
+    else:  # L2*
+        uncontracted_cells = [R, S] + sorted(neighbors)
+        contracted_cells = []
+
+    unit_sizes: List[int] = []
+    unit_frags: List[List[int]] = []
+    unit_cell: List[int] = []
+    uncontracted_flags: List[bool] = []
+    unit_of_frag: Dict[int, int] = {}
+    unit_of_cell: Dict[int, int] = {}
+
+    for c in uncontracted_cells:
+        for v in state.cell_members[c]:
+            unit_of_frag[v] = len(unit_sizes)
+            unit_sizes.append(int(g.vsize[v]))
+            unit_frags.append([v])
+            unit_cell.append(c)
+            uncontracted_flags.append(True)
+    for c in contracted_cells:
+        unit_of_cell[c] = len(unit_sizes)
+        unit_sizes.append(state.cell_size[c])
+        unit_frags.append(list(state.cell_members[c]))
+        unit_cell.append(c)
+        uncontracted_flags.append(False)
+
+    # internal edges touching an uncontracted fragment, via the fragment graph
+    edges: List[Tuple[int, int, float]] = []
+    xadj, adjncy, eidw = g.xadj, g.adjncy, g.ewgt[g.eid]
+    for v, a in unit_of_frag.items():
+        lo, hi = xadj[v], xadj[v + 1]
+        for y, w in zip(adjncy[lo:hi], eidw[lo:hi]):
+            y = int(y)
+            b = unit_of_frag.get(y)
+            if b is not None:
+                if y > v:  # each fragment-fragment edge once
+                    edges.append((a, b, float(w)))
+            else:
+                b = unit_of_cell.get(int(state.labels[y]))
+                if b is not None:
+                    edges.append((a, b, float(w)))
+    # edges between two contracted neighbor cells, from the H view
+    for i, c in enumerate(contracted_cells):
+        for d, w in state.H[c].items():
+            if d in unit_of_cell and d > c:
+                edges.append((unit_of_cell[c], unit_of_cell[d], float(w)))
+
+    return AuxInstance(
+        unit_sizes=np.asarray(unit_sizes, dtype=np.int64),
+        unit_frags=unit_frags,
+        unit_cell=np.asarray(unit_cell, dtype=np.int64),
+        edges=edges,
+        uncontracted=np.asarray(uncontracted_flags, dtype=bool),
+    )

@@ -1,0 +1,102 @@
+"""Multistart with optional evolutionary combination (paper Section 3).
+
+Each iteration runs the randomized greedy followed by the local search;
+after ``M`` iterations the best solution wins.  With combination enabled,
+an elite pool of capacity ``k = ceil(sqrt(M))`` (by default) is maintained:
+the first ``k`` iterations seed the pool; every later iteration generates a
+fresh solution ``P``, combines two random pool members into ``P'``, combines
+``P`` with ``P'`` into ``P''``, and tries to insert ``P''``, ``P'``, ``P``
+into the pool in that order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.config import AssemblyConfig
+from ..graph.graph import Graph
+from .cells import PartitionState
+from .combine import combine_solutions
+from .greedy import greedy_labels_for_graph
+from .local_search import local_search
+from .pool import ElitePool, Solution
+
+__all__ = ["MultistartStats", "multistart"]
+
+
+@dataclass
+class MultistartStats:
+    """Aggregate counters across multistart iterations."""
+    iterations: int = 0
+    combinations: int = 0
+    ls_improvements: int = 0
+    ls_steps: int = 0
+    iteration_costs: List[float] = field(default_factory=list)
+
+
+def _one_start(
+    g: Graph, U: int, cfg: AssemblyConfig, rng: np.random.Generator, stats: MultistartStats
+) -> Solution:
+    labels = greedy_labels_for_graph(g, U, rng, cfg.score_a, cfg.score_b)
+    state = PartitionState(g, labels)
+    ls = local_search(
+        state,
+        U,
+        variant=cfg.local_search,
+        phi_max=cfg.phi,
+        rng=rng,
+        score_a=cfg.score_a,
+        score_b=cfg.score_b,
+    )
+    stats.ls_improvements += ls.improvements
+    stats.ls_steps += ls.steps
+    return Solution.from_labels(g, state.labels, state.cost)
+
+
+def multistart(
+    g: Graph,
+    U: int,
+    cfg: Optional[AssemblyConfig] = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[Solution, MultistartStats]:
+    """Run the full assembly search on a fragment graph.
+
+    Returns the best solution found and per-run statistics.
+    """
+    cfg = AssemblyConfig() if cfg is None else cfg
+    rng = np.random.default_rng() if rng is None else rng
+    stats = MultistartStats()
+
+    best: Optional[Solution] = None
+    pool: Optional[ElitePool] = None
+    if cfg.use_combination:
+        k = cfg.pool_capacity or max(2, math.ceil(math.sqrt(cfg.multistart)))
+        pool = ElitePool(k)
+
+    for it in range(cfg.multistart):
+        p = _one_start(g, U, cfg, rng, stats)
+        stats.iterations += 1
+        candidates = [p]
+        if pool is not None:
+            if len(pool) < pool.capacity or len(pool) < 2:
+                pool.add(p)
+            else:
+                p1, p2 = pool.sample_two(rng)
+                p_prime = combine_solutions(g, p1, p2, U, cfg, rng)
+                p_second = combine_solutions(g, p, p_prime, U, cfg, rng)
+                stats.combinations += 2
+                pool.add(p_second)
+                pool.add(p_prime)
+                pool.add(p)
+                candidates.extend([p_prime, p_second])
+        for c in candidates:
+            if best is None or c.cost < best.cost:
+                best = c
+        stats.iteration_costs.append(min(c.cost for c in candidates))
+
+    assert best is not None
+    return best, stats

@@ -1,0 +1,85 @@
+"""Elite solution pool with diversity-preserving eviction.
+
+Paper Section 3, "Pool management": while the pool has fewer than ``k``
+solutions, every insertion is granted.  Once full, a new solution ``P`` is
+rejected if everything in the pool is better; otherwise, among the pool
+solutions that are *no better* than ``P``, the one **most similar** to ``P``
+is evicted — similarity being the cardinality of the symmetric difference
+of the cut-edge sets.  Evicting the most similar dominated solution keeps
+the pool diverse (Resende & Werneck's strategy, cited by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["Solution", "ElitePool"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An assembly-phase solution: fragment labels, cost, and cut-edge set."""
+
+    labels: np.ndarray
+    cost: float
+    cut_set: FrozenSet[int]
+
+    @staticmethod
+    def from_labels(g: Graph, labels: np.ndarray, cost: float | None = None) -> "Solution":
+        """Build a solution (cost and cut set derived from the labels)."""
+        labels = np.asarray(labels, dtype=np.int64)
+        cut_mask = labels[g.edge_u] != labels[g.edge_v]
+        if cost is None:
+            cost = float(g.ewgt[cut_mask].sum())
+        return Solution(
+            labels=labels.copy(),
+            cost=float(cost),
+            cut_set=frozenset(np.flatnonzero(cut_mask).tolist()),
+        )
+
+    def distance(self, other: "Solution") -> int:
+        """Symmetric difference of the two cut-edge sets."""
+        return len(self.cut_set ^ other.cut_set)
+
+
+@dataclass
+class ElitePool:
+    """Fixed-capacity pool of elite solutions (see module docstring)."""
+    capacity: int
+    solutions: List[Solution] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("pool capacity must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    @property
+    def best(self) -> Optional[Solution]:
+        """The lowest-cost solution, or None when empty."""
+        return min(self.solutions, key=lambda s: s.cost, default=None)
+
+    def add(self, p: Solution) -> bool:
+        """Try to insert ``p``; returns True if it entered the pool."""
+        if len(self.solutions) < self.capacity:
+            self.solutions.append(p)
+            return True
+        candidates = [i for i, s in enumerate(self.solutions) if s.cost >= p.cost]
+        if not candidates:
+            return False  # every pool member is strictly better
+        evict = min(candidates, key=lambda i: self.solutions[i].distance(p))
+        self.solutions[evict] = p
+        return True
+
+    def sample_two(self, rng: np.random.Generator) -> Tuple[Solution, Solution]:
+        """Two distinct solutions, uniformly at random."""
+        if len(self.solutions) < 2:
+            raise ValueError("need at least two solutions to sample a pair")
+        i, j = rng.choice(len(self.solutions), size=2, replace=False)
+        return self.solutions[int(i)], self.solutions[int(j)]

@@ -1,0 +1,6 @@
+"""Balanced partitions with PUNCH (paper Section 4)."""
+
+from .driver import balanced_cell_bound, balanced_from_fragments, run_balanced_punch
+from .rebalance import RebalanceOutcome, rebalance
+
+__all__ = ["run_balanced_punch", "balanced_from_fragments", "balanced_cell_bound", "rebalance", "RebalanceOutcome"]

@@ -1,0 +1,139 @@
+"""Rebalancing: turn an unbalanced PUNCH partition into a k-cell one.
+
+Paper Section 4: the unbalanced solution may have ``l > k`` cells.  Choose
+``k`` *base cells* — each cell scored ``(2 + r) * s(C)`` with ``r`` uniform
+in [0, 1], keep the ``k`` highest — and distribute the fragments of the
+remaining cells among them:
+
+repeat:
+    U' = max_i (U - s(V_i))
+    partition G[W] (the leftover fragments) with bound U'
+    for each cell C of that partition, by decreasing size:
+        pick a base cell V_i with s(V_i) + s(C) <= U at random with
+        probability proportional to 1 / s(V_i)   (favor tighter fits)
+        merge C into it, or skip C (it will be split again next round)
+until everything is allocated (success) or no progress is possible (failure)
+
+Cell connectivity may be sacrificed, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..assembly.cells import PartitionState
+from ..assembly.greedy import greedy_labels_for_graph
+from ..assembly.local_search import local_search
+from ..core.config import AssemblyConfig
+from ..graph.graph import Graph
+from ..graph.subgraph import induced_subgraph
+
+__all__ = ["RebalanceOutcome", "rebalance"]
+
+
+@dataclass
+class RebalanceOutcome:
+    """Result of one rebalancing attempt (labels valid iff success)."""
+    success: bool
+    labels: Optional[np.ndarray]  # fragment -> cell in [0, k)
+    cost: float = float("inf")
+    rounds: int = 0
+
+
+def _partition_leftovers(
+    g: Graph,
+    W: np.ndarray,
+    U_prime: int,
+    cfg: AssemblyConfig,
+    phi: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Partition ``G[W]`` with bound ``U_prime``; returns lists of fragments."""
+    sub, sub_to_g, _ = induced_subgraph(g, W)
+    labels = greedy_labels_for_graph(sub, U_prime, rng, cfg.score_a, cfg.score_b)
+    state = PartitionState(sub, labels)
+    local_search(
+        state,
+        U_prime,
+        variant=cfg.local_search,
+        phi_max=phi,
+        rng=rng,
+        score_a=cfg.score_a,
+        score_b=cfg.score_b,
+    )
+    cells: List[np.ndarray] = []
+    for mem in state.cell_members.values():
+        cells.append(sub_to_g[np.asarray(mem, dtype=np.int64)])
+    return cells
+
+
+def rebalance(
+    g: Graph,
+    labels: np.ndarray,
+    k: int,
+    U: int,
+    cfg: AssemblyConfig,
+    phi_rebalance: int,
+    rng: np.random.Generator,
+    max_rounds: int = 25,
+) -> RebalanceOutcome:
+    """Rebalance a fragment-graph partition to at most ``k`` cells.
+
+    ``g`` is the fragment graph, ``labels`` the unbalanced cell assignment,
+    ``U`` the hard cell-size bound (``U*`` of the paper).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    uniq, dense = np.unique(labels, return_inverse=True)
+    ell = len(uniq)
+    if ell <= k:
+        out_cost = float(g.ewgt[dense[g.edge_u] != dense[g.edge_v]].sum())
+        return RebalanceOutcome(success=True, labels=dense.astype(np.int64), cost=out_cost)
+
+    sizes = np.bincount(dense, weights=g.vsize).astype(np.int64)
+    scores = (2.0 + rng.random(ell)) * sizes
+    base_ids = np.argsort(-scores, kind="stable")[:k]
+    is_base = np.zeros(ell, dtype=bool)
+    is_base[base_ids] = True
+
+    # final assignment: fragment -> base index in [0, k)
+    base_index = {int(c): i for i, c in enumerate(base_ids)}
+    assign = np.full(g.n, -1, dtype=np.int64)
+    base_size = sizes[base_ids].astype(np.int64).copy()
+    for v in range(g.n):
+        c = int(dense[v])
+        if is_base[c]:
+            assign[v] = base_index[c]
+    W = np.flatnonzero(assign < 0)
+
+    rounds = 0
+    while len(W) and rounds < max_rounds:
+        rounds += 1
+        U_prime = int(U - base_size.min())
+        if U_prime < int(g.vsize[W].max()):
+            # not even the largest leftover fragment fits anywhere
+            return RebalanceOutcome(success=False, labels=None, rounds=rounds)
+        cells = _partition_leftovers(g, W, U_prime, cfg, phi_rebalance, rng)
+        cells.sort(key=lambda c: -int(g.vsize[c].sum()))
+        progressed = False
+        for cell in cells:
+            s_c = int(g.vsize[cell].sum())
+            fits = np.flatnonzero(base_size + s_c <= U)
+            if len(fits) == 0:
+                continue  # C is skipped; it will be split next round
+            probs = 1.0 / base_size[fits].astype(np.float64)
+            probs /= probs.sum()
+            i = int(rng.choice(fits, p=probs))
+            assign[cell] = i
+            base_size[i] += s_c
+            progressed = True
+        W = np.flatnonzero(assign < 0)
+        if not progressed:
+            return RebalanceOutcome(success=False, labels=None, rounds=rounds)
+
+    if len(W):
+        return RebalanceOutcome(success=False, labels=None, rounds=rounds)
+    cost = float(g.ewgt[assign[g.edge_u] != assign[g.edge_v]].sum())
+    return RebalanceOutcome(success=True, labels=assign, cost=cost, rounds=rounds)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``info GRAPH``                    : print graph statistics
+- ``generate -o GRAPH``             : write a synthetic road network
+- ``partition GRAPH -U N``          : unbalanced PUNCH (paper's main problem)
+- ``balanced GRAPH -k K [--strong]``: balanced PUNCH (Section 4)
+
+Graph files are DIMACS ``.gr``(.gz) or METIS ``.graph``(.gz), inferred from
+the extension.  Partitions are written as one cell id per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+from .core.config import AssemblyConfig, BalancedConfig, PunchConfig
+
+
+def _load_graph(path: str):
+    from .graph.io import read_dimacs_gr, read_metis
+
+    name = Path(path).name
+    if ".graph" in name:
+        return read_metis(path)
+    if ".gr" in name:
+        return read_dimacs_gr(path)
+    raise SystemExit(f"cannot infer format of {path!r} (use .gr or .graph)")
+
+
+def _save_graph(g, path: str) -> None:
+    from .graph.io import write_dimacs_gr, write_metis
+
+    name = Path(path).name
+    if ".graph" in name:
+        write_metis(g, path)
+    elif ".gr" in name:
+        write_dimacs_gr(g, path)
+    else:
+        raise SystemExit(f"cannot infer format of {path!r} (use .gr or .graph)")
+
+
+def _write_labels(labels, path: str) -> None:
+    Path(path).write_text("\n".join(str(int(x)) for x in labels) + "\n")
+
+
+def cmd_info(args) -> int:
+    """``repro info``: print graph statistics."""
+    from .graph import connected_components
+
+    g = _load_graph(args.graph)
+    k, _ = connected_components(g)
+    print(f"vertices      : {g.n}")
+    print(f"edges         : {g.m}")
+    print(f"avg degree    : {2 * g.m / max(g.n, 1):.2f}")
+    print(f"total size    : {g.total_size()}")
+    print(f"total weight  : {g.total_weight():g}")
+    print(f"components    : {k}")
+    print(f"coordinates   : {'yes' if g.coords is not None else 'no'}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: write a synthetic road network."""
+    from .synthetic import instance, road_network
+
+    if args.name:
+        g = instance(args.name)
+    else:
+        g = road_network(n_target=args.n, seed=args.seed)
+    _save_graph(g, args.output)
+    print(f"wrote {g.n} vertices / {g.m} edges to {args.output}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    """``repro partition``: run unbalanced PUNCH."""
+    from .core.punch import run_punch
+
+    g = _load_graph(args.graph)
+    cfg = PunchConfig(
+        assembly=AssemblyConfig(multistart=args.multistart, phi=args.phi),
+        seed=args.seed,
+    )
+    res = run_punch(g, args.U, cfg)
+    print(res.summary())
+    print(f"cells connected: {res.partition.all_cells_connected()}")
+    if args.output:
+        _write_labels(res.partition.labels, args.output)
+        print(f"wrote labels to {args.output}")
+    return 0
+
+
+def cmd_balanced(args) -> int:
+    """``repro balanced``: run balanced PUNCH."""
+    from .balanced.driver import run_balanced_punch
+
+    g = _load_graph(args.graph)
+    cfg = BalancedConfig(
+        strong=args.strong,
+        phi_unbalanced=args.phi,
+        rebalance_attempts=args.rebalances,
+        seed=args.seed,
+    )
+    res = run_balanced_punch(g, args.k, args.epsilon, cfg)
+    print(res.summary())
+    if args.output:
+        _write_labels(res.partition.labels, args.output)
+        print(f"wrote labels to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="PUNCH: graph partitioning with natural cuts (IPDPS'11 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("info", help="print graph statistics")
+    sp.add_argument("graph")
+    sp.set_defaults(fn=cmd_info)
+
+    sp = sub.add_parser("generate", help="generate a synthetic road network")
+    sp.add_argument("-o", "--output", required=True)
+    sp.add_argument("--name", help="named instance (e.g. europe_like)")
+    sp.add_argument("--n", type=int, default=10_000, help="target vertex count")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_generate)
+
+    sp = sub.add_parser("partition", help="unbalanced PUNCH with cell bound U")
+    sp.add_argument("graph")
+    sp.add_argument("-U", type=int, required=True, help="maximum cell size")
+    sp.add_argument("-o", "--output", help="write per-vertex cell ids here")
+    sp.add_argument("--seed", type=int, default=None)
+    sp.add_argument("--multistart", type=int, default=1)
+    sp.add_argument("--phi", type=int, default=16)
+    sp.set_defaults(fn=cmd_partition)
+
+    sp = sub.add_parser("balanced", help="balanced PUNCH with k cells")
+    sp.add_argument("graph")
+    sp.add_argument("-k", type=int, required=True, help="number of cells")
+    sp.add_argument("--epsilon", type=float, default=0.03)
+    sp.add_argument("--strong", action="store_true")
+    sp.add_argument("--phi", type=int, default=64)
+    sp.add_argument("--rebalances", type=int, default=8)
+    sp.add_argument("-o", "--output", help="write per-vertex cell ids here")
+    sp.add_argument("--seed", type=int, default=None)
+    sp.set_defaults(fn=cmd_balanced)
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Public API of the PUNCH reproduction."""
+
+from .config import AssemblyConfig, BalancedConfig, FilterConfig, PunchConfig
+from .partition import Partition
+from .nested import NestedPartition, run_nested_punch
+from .punch import run_punch
+from .result import BalancedResult, PunchResult
+
+__all__ = [
+    "run_punch",
+    "run_nested_punch",
+    "NestedPartition",
+    "Partition",
+    "PunchResult",
+    "BalancedResult",
+    "PunchConfig",
+    "FilterConfig",
+    "AssemblyConfig",
+    "BalancedConfig",
+]

@@ -1,0 +1,112 @@
+"""Configuration dataclasses with the paper's default parameters.
+
+Defaults reproduce the experimental setup of Section 5: filtering with
+``alpha = 1``, ``f = 10``, coverage ``C = 2``, both tiny- and natural-cut
+detection; assembly with the L2+ local search, ``phi = 16``, no combination.
+The balanced driver (Section 4/5) filters at ``U*/3``, builds ``ceil(32/k)``
+(default) or ``ceil(256/k)`` (strong) unbalanced solutions with ``phi = 512``
+and rebalances each 50 times with ``phi = 128``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["FilterConfig", "AssemblyConfig", "PunchConfig", "BalancedConfig"]
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Parameters of the filtering phase (paper Section 2)."""
+
+    alpha: float = 1.0  # BFS tree grows to alpha * U
+    f: float = 10.0  # core is the first alpha * U / f of the tree
+    coverage: int = 2  # C: number of natural-cut sweeps
+    tau: int = 5  # tiny-cut tau-merge threshold
+    detect_tiny_cuts: bool = True
+    detect_natural_cuts: bool = True
+    chunk_large_paths: bool = False  # pass-2 extension (off = paper behavior)
+    flow_solver: str = "push_relabel"
+    executor: str = "serial"
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not (0 < self.alpha <= 1):
+            raise ValueError("alpha must be in (0, 1] to guarantee fragment sizes <= U")
+        if self.f <= 1:
+            raise ValueError("f must be > 1")
+        if self.coverage < 1:
+            raise ValueError("coverage must be >= 1")
+
+
+@dataclass(frozen=True)
+class AssemblyConfig:
+    """Parameters of the assembly phase (paper Section 3)."""
+
+    local_search: str = "L2+"  # one of "L2", "L2+", "L2*", "none"
+    phi: int = 16  # max failures per adjacent cell pair
+    multistart: int = 1  # M: greedy+LS iterations
+    use_combination: bool = False  # evolutionary combination of elite pairs
+    pool_capacity: Optional[int] = None  # default ceil(sqrt(M))
+    # randomized greedy score parameters (paper: a = 0.03, b = 0.6)
+    score_a: float = 0.03
+    score_b: float = 0.6
+    # combination weight perturbations p0 > p1 > p2 (paper: 5, 3, 2)
+    p0: float = 5.0
+    p1: float = 3.0
+    p2: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.local_search not in ("L2", "L2+", "L2*", "none"):
+            raise ValueError("local_search must be 'L2', 'L2+', 'L2*' or 'none'")
+        if self.phi < 1:
+            raise ValueError("phi must be >= 1")
+        if self.multistart < 1:
+            raise ValueError("multistart must be >= 1")
+        if not (0 <= self.score_a <= 1 and 0 <= self.score_b <= 1):
+            raise ValueError("score_a and score_b must be in [0, 1]")
+        if not (self.p0 >= self.p1 >= self.p2 > 0):
+            raise ValueError("perturbation factors must satisfy p0 >= p1 >= p2 > 0")
+
+
+@dataclass(frozen=True)
+class PunchConfig:
+    """Full PUNCH configuration: filtering + assembly + seeding."""
+
+    filter: FilterConfig = field(default_factory=FilterConfig)
+    assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
+    seed: Optional[int] = None
+
+    def with_seed(self, seed: int) -> "PunchConfig":
+        """Copy of this config with a different seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class BalancedConfig:
+    """Balanced-partition driver configuration (paper Sections 4-5)."""
+
+    epsilon: float = 0.03  # tolerated imbalance
+    strong: bool = False  # strong PUNCH: ceil(256/k) starts instead of ceil(32/k)
+    starts_numerator: Optional[int] = None  # override 32/256 if set
+    rebalance_attempts: int = 50  # rebalances per unbalanced solution
+    filter_divisor: int = 3  # filtering runs with U = U*/3
+    phi_unbalanced: int = 512
+    phi_rebalance: int = 128
+    filter: FilterConfig = field(default_factory=FilterConfig)
+    assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
+    seed: Optional[int] = None
+
+    @property
+    def numerator(self) -> int:
+        """Multistart numerator: ceil(numerator / k) unbalanced starts."""
+        if self.starts_numerator is not None:
+            return self.starts_numerator
+        return 256 if self.strong else 32
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be >= 0")
+        if self.filter_divisor < 1:
+            raise ValueError("filter_divisor must be >= 1")

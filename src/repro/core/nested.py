@@ -1,0 +1,83 @@
+"""Nested (multi-level) partitions — what CRP actually consumes.
+
+Customizable Route Planning uses a *hierarchy* of partitions: cells of
+size U_0 nested inside cells of size U_1 inside ... (the paper's citation
+[7] uses e.g. U = 2^8, 2^12, 2^16, 2^20).  PUNCH produces one level; this
+module stacks levels so that every level-i cell is fully contained in one
+level-(i+1) cell, by partitioning the *cell graph* of level i with bound
+U_{i+1} — the contraction chain makes each coarser level's input tiny, so
+the extra levels are nearly free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.contraction import ContractionChain
+from ..graph.graph import Graph
+from .config import PunchConfig
+from .partition import Partition
+from .punch import run_punch
+
+__all__ = ["NestedPartition", "run_nested_punch"]
+
+
+@dataclass
+class NestedPartition:
+    """A nesting-consistent stack of partitions, finest first.
+
+    ``levels[i]`` is the level-i partition of the *original* graph;
+    ``levels[i + 1]`` coarsens it (every finer cell maps into exactly one
+    coarser cell).
+    """
+
+    graph: Graph
+    U_values: List[int]
+    levels: List[Partition]
+
+    def cell_of(self, v: int, level: int) -> int:
+        """Cell id of vertex ``v`` at ``level``."""
+        return int(self.levels[level].labels[v])
+
+    def check_nesting(self) -> None:
+        """Assert the hierarchy property (used by tests)."""
+        for fine, coarse in zip(self.levels, self.levels[1:]):
+            # the coarse cell must be a function of the fine cell
+            mapping = {}
+            for f, c in zip(fine.labels, coarse.labels):
+                f, c = int(f), int(c)
+                if f in mapping:
+                    assert mapping[f] == c, "nesting violated"
+                else:
+                    mapping[f] = c
+
+
+def run_nested_punch(
+    g: Graph,
+    U_values: Sequence[int],
+    config: Optional[PunchConfig] = None,
+    rng: np.random.Generator | None = None,
+) -> NestedPartition:
+    """Build a nested partition for increasing cell bounds ``U_values``.
+
+    Level 0 runs PUNCH on the input; every further level runs PUNCH on the
+    previous level's cell graph (cells as vertices, sizes summed), so
+    nesting holds by construction.
+    """
+    U_values = sorted(int(u) for u in U_values)
+    if not U_values:
+        raise ValueError("need at least one U value")
+    config = PunchConfig() if config is None else config
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
+
+    chain = ContractionChain(g)
+    levels: List[Partition] = []
+    for U in U_values:
+        res = run_punch(chain.current, U, config, rng=rng)
+        chain.apply(res.partition.labels)
+        levels.append(Partition(g, chain.map.copy()))
+    return NestedPartition(graph=g, U_values=list(U_values), levels=levels)

@@ -1,0 +1,99 @@
+"""Partition representation and quality metrics.
+
+A :class:`Partition` labels every vertex of the *input* graph with a cell
+id and exposes the quantities the paper reports: cost (cut weight), number
+of cells, cell sizes, imbalance against a bound, and connectivity (PUNCH
+cells are connected by construction in the unbalanced case; rebalancing may
+sacrifice this, as the paper notes — so we measure it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..graph.components import connected_components_masked
+from ..graph.graph import Graph
+
+__all__ = ["Partition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of input vertices to cells."""
+
+    graph: Graph
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if labels.shape != (self.graph.n,):
+            raise ValueError("labels must assign every vertex of the graph")
+        _, dense = np.unique(labels, return_inverse=True)
+        object.__setattr__(self, "labels", dense.astype(np.int64))
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return int(self.labels.max()) + 1 if self.graph.n else 0
+
+    @cached_property
+    def cell_sizes(self) -> np.ndarray:
+        """Total vertex size per cell."""
+        return np.bincount(self.labels, weights=self.graph.vsize).astype(np.int64)
+
+    @cached_property
+    def cut_edges(self) -> np.ndarray:
+        """Edge ids crossing cells."""
+        g = self.graph
+        return np.flatnonzero(self.labels[g.edge_u] != self.labels[g.edge_v]).astype(np.int64)
+
+    @cached_property
+    def cost(self) -> float:
+        """Total weight of cut edges — the objective of the paper."""
+        return float(self.graph.ewgt[self.cut_edges].sum())
+
+    # ------------------------------------------------------------------
+    def max_cell_size(self) -> int:
+        """Size of the largest cell."""
+        return int(self.cell_sizes.max()) if self.num_cells else 0
+
+    def respects_bound(self, U: int) -> bool:
+        """True iff every cell fits in ``U``."""
+        return self.max_cell_size() <= U
+
+    def imbalance(self, k: int | None = None) -> float:
+        """``max_cell / ceil(n/k) - 1`` (the balanced-partition epsilon)."""
+        k = self.num_cells if k is None else k
+        ideal = -(-self.graph.total_size() // k)  # ceil
+        return self.max_cell_size() / ideal - 1.0
+
+    def connected_cells(self) -> np.ndarray:
+        """Boolean mask: is each cell connected in the input graph?"""
+        _, comp = connected_components_masked(self.graph, self.cut_edges)
+        ok = np.ones(self.num_cells, dtype=bool)
+        # a cell is connected iff all its vertices share one component
+        for c in range(self.num_cells):
+            members = np.flatnonzero(self.labels == c)
+            if len(members) and len(np.unique(comp[members])) > 1:
+                ok[c] = False
+        return ok
+
+    def all_cells_connected(self) -> bool:
+        """True iff every cell induces a connected subgraph."""
+        return bool(self.connected_cells().all())
+
+    def validate(self, U: int | None = None) -> None:
+        """Check structural sanity (and the size bound if given)."""
+        if U is not None and not self.respects_bound(U):
+            raise AssertionError(
+                f"cell bound violated: max {self.max_cell_size()} > U={U}"
+            )
+        if int(self.cell_sizes.sum()) != self.graph.total_size():
+            raise AssertionError("cell sizes do not add up to the graph size")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(cells={self.num_cells}, cost={self.cost:g})"

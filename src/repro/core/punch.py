@@ -1,0 +1,101 @@
+"""The PUNCH driver: filtering + assembly on a connected input.
+
+``run_punch`` is the library's main entry point for the standard (cell-size
+bounded, unbalanced) graph partitioning problem of the paper: given ``U``,
+find a partition into cells of size at most ``U`` minimizing the total
+weight of cut edges.  Disconnected inputs are handled by partitioning each
+connected component independently, as the paper's preliminaries allow.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..assembly.driver import run_assembly
+from ..filtering.pipeline import run_filtering
+from ..graph.components import connected_components
+from ..graph.graph import Graph
+from ..graph.subgraph import induced_subgraph
+from .config import PunchConfig
+from .partition import Partition
+from .result import PunchResult
+
+__all__ = ["run_punch"]
+
+
+def run_punch(
+    g: Graph,
+    U: int,
+    config: Optional[PunchConfig] = None,
+    rng: np.random.Generator | None = None,
+) -> PunchResult:
+    """Partition ``g`` into cells of size at most ``U`` with PUNCH."""
+    config = PunchConfig() if config is None else config
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
+    if U < int(g.vsize.max(initial=1)):
+        raise ValueError("U must be at least the largest vertex size")
+
+    ncomp, comp = connected_components(g)
+    if ncomp > 1:
+        return _run_per_component(g, U, config, rng, ncomp, comp)
+
+    filt = run_filtering(g, U, config.filter, rng)
+    t0 = time.perf_counter()
+    asm = run_assembly(filt.fragment_graph, U, config.assembly, rng)
+    time_assembly = time.perf_counter() - t0
+
+    labels = asm.labels[filt.map]
+    partition = Partition(g, labels)
+    return PunchResult(
+        partition=partition,
+        U=U,
+        filter_result=filt,
+        assembly_stats=asm.stats,
+        time_tiny=filt.time_tiny,
+        time_natural=filt.time_natural,
+        time_assembly=time_assembly,
+    )
+
+
+def _run_per_component(
+    g: Graph,
+    U: int,
+    config: PunchConfig,
+    rng: np.random.Generator,
+    ncomp: int,
+    comp: np.ndarray,
+) -> PunchResult:
+    """Partition each connected component independently and merge."""
+    labels = np.zeros(g.n, dtype=np.int64)
+    offset = 0
+    total = dict(time_tiny=0.0, time_natural=0.0, time_assembly=0.0)
+    last_filt = None
+    last_stats = None
+    for c in range(ncomp):
+        members = np.flatnonzero(comp == c)
+        if len(members) == 1:
+            labels[members] = offset
+            offset += 1
+            continue
+        sub, sub_to_g, _ = induced_subgraph(g, members)
+        res = run_punch(sub, U, config, rng)
+        labels[sub_to_g] = res.partition.labels + offset
+        offset += res.partition.num_cells
+        total["time_tiny"] += res.time_tiny
+        total["time_natural"] += res.time_natural
+        total["time_assembly"] += res.time_assembly
+        last_filt = res.filter_result
+        last_stats = res.assembly_stats
+    partition = Partition(g, labels)
+    assert last_filt is not None, "empty graph has no components to partition"
+    return PunchResult(
+        partition=partition,
+        U=U,
+        filter_result=last_filt,
+        assembly_stats=last_stats,
+        **total,
+    )

@@ -1,0 +1,92 @@
+"""Result objects returned by the PUNCH drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+from ..assembly.multistart import MultistartStats
+from ..filtering.pipeline import FilterResult
+from .partition import Partition
+
+__all__ = ["PunchResult", "BalancedResult"]
+
+
+@dataclass
+class PunchResult:
+    """Outcome of one unbalanced PUNCH run (paper Table 1 quantities)."""
+
+    partition: Partition
+    U: int
+    filter_result: FilterResult
+    assembly_stats: Optional[MultistartStats]
+    time_tiny: float
+    time_natural: float
+    time_assembly: float
+
+    @property
+    def cost(self) -> float:
+        """Cut weight of the partition."""
+        return self.partition.cost
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells in the partition."""
+        return self.partition.num_cells
+
+    @property
+    def num_fragments(self) -> int:
+        """|V'| of the paper: vertices after filtering."""
+        return self.filter_result.fragment_graph.n
+
+    @property
+    def time_total(self) -> float:
+        """Total wall time across the three phases."""
+        return self.time_tiny + self.time_natural + self.time_assembly
+
+    @property
+    def lower_bound_cells(self) -> int:
+        """LB = ceil(n / U)."""
+        return -(-self.partition.graph.total_size() // self.U)
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        return (
+            f"U={self.U}: cells={self.num_cells} (LB {self.lower_bound_cells}), "
+            f"|V'|={self.num_fragments}, cost={self.cost:g}, "
+            f"time tny/nat/asm = {self.time_tiny:.1f}/{self.time_natural:.1f}/"
+            f"{self.time_assembly:.1f}s"
+        )
+
+
+@dataclass
+class BalancedResult:
+    """Outcome of one balanced PUNCH run (paper Tables 2-4 quantities)."""
+
+    partition: Partition
+    k: int
+    epsilon: float
+    U_star: int
+    time_total: float
+    attempts: int = 0
+    failed_rebalances: int = 0
+    unbalanced_costs: list = field(default_factory=list)
+
+    @property
+    def cost(self) -> float:
+        return self.partition.cost
+
+    def feasible(self) -> bool:
+        """At most k cells, none above U*."""
+        return (
+            self.partition.num_cells <= self.k
+            and self.partition.max_cell_size() <= self.U_star
+        )
+
+    def summary(self) -> str:
+        return (
+            f"k={self.k} eps={self.epsilon}: cells={self.partition.num_cells}, "
+            f"cost={self.cost:g}, max cell={self.partition.max_cell_size()} "
+            f"(U*={self.U_star}), time={self.time_total:.1f}s"
+        )

@@ -1,0 +1,8 @@
+"""Customizable Route Planning on PUNCH partitions — the paper's use case."""
+
+from .dijkstra import dijkstra
+from .overlay import Overlay, build_overlay, customize_overlay
+from .multilevel import MultiLevelOverlay, build_multilevel_overlay, ml_query
+from .query import crp_query
+
+__all__ = ["dijkstra", "build_overlay", "customize_overlay", "Overlay", "crp_query", "build_multilevel_overlay", "MultiLevelOverlay", "ml_query"]

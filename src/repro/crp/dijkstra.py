@@ -1,0 +1,58 @@
+"""Dijkstra's algorithm on CSR graphs (the CRP substrate's baseline).
+
+Plain single-source shortest paths with optional early termination, used
+both as the query baseline and to build overlay cliques.  Operates directly
+on the CSR arrays with a binary heap and lazy deletion.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["dijkstra"]
+
+
+def dijkstra(
+    g: Graph,
+    source: int,
+    targets: Optional[Iterable[int]] = None,
+    vertex_mask: Optional[np.ndarray] = None,
+) -> Tuple[Dict[int, float], int]:
+    """Shortest distances from ``source``; returns ``(dist, settled_count)``.
+
+    Parameters
+    ----------
+    targets : stop once all of these are settled (None = exhaust component).
+    vertex_mask : boolean mask; when given, the search is confined to
+        vertices where the mask is True (used for cell-local searches).
+    """
+    xadj, adjncy = g.xadj, g.adjncy
+    wgt = g.half_edge_weights()
+    dist: Dict[int, float] = {source: 0.0}
+    settled = set()
+    want = set(int(t) for t in targets) if targets is not None else None
+    heap: list = [(0.0, source)]
+    while heap:
+        d, v = heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if want is not None:
+            want.discard(v)
+            if not want:
+                break
+        lo, hi = xadj[v], xadj[v + 1]
+        for u, w in zip(adjncy[lo:hi], wgt[lo:hi]):
+            u = int(u)
+            if vertex_mask is not None and not vertex_mask[u]:
+                continue
+            nd = d + float(w)
+            if nd < dist.get(u, np.inf):
+                dist[u] = nd
+                heappush(heap, (nd, u))
+    return dist, len(settled)

@@ -1,0 +1,117 @@
+"""CRP overlay construction over a PUNCH partition.
+
+Customizable Route Planning [Delling, Goldberg, Pajor, Werneck; SEA'11] is
+the application PUNCH was designed for (the paper's introduction and the
+CRP citation [7]).  Preprocessing builds an *overlay*:
+
+- vertices: the partition's **boundary vertices** (endpoints of cut edges);
+- edges: the cut edges themselves, plus one **clique edge** per pair of
+  boundary vertices of the same cell, weighted by the shortest-path
+  distance *inside* that cell.
+
+Queries then search the source cell, the overlay, and the target cell —
+never the interior of any other cell.  Overlay size, and hence both
+customization and query cost, is governed by the number of cut edges:
+exactly the objective PUNCH minimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.partition import Partition
+from ..graph.graph import Graph
+from .dijkstra import dijkstra
+
+__all__ = ["Overlay", "build_overlay", "customize_overlay"]
+
+
+@dataclass
+class Overlay:
+    """The boundary-vertex overlay of a partition.
+
+    ``adj`` maps each boundary vertex to ``[(neighbor, weight), ...]``
+    combining clique edges (intra-cell shortest-path distances) and cut
+    edges (inter-cell).  ``boundary_of_cell`` lists each cell's boundary
+    vertices.
+    """
+
+    graph: Graph
+    labels: np.ndarray
+    adj: Dict[int, List[Tuple[int, float]]]
+    boundary_of_cell: Dict[int, List[int]]
+    clique_edges: int
+    cut_edges: int
+
+    @property
+    def num_boundary_vertices(self) -> int:
+        """Number of overlay vertices."""
+        return len(self.adj)
+
+    def cells_of(self, v: int) -> int:
+        """Cell id of a vertex under the overlay's partition."""
+        return int(self.labels[v])
+
+
+def build_overlay(partition: Partition) -> Overlay:
+    """Build the CRP overlay for a partition of its graph."""
+    g = partition.graph
+    labels = partition.labels
+
+    boundary_of_cell: Dict[int, set] = {}
+    for e in partition.cut_edges:
+        a, b = g.edge_endpoints(int(e))
+        boundary_of_cell.setdefault(int(labels[a]), set()).add(a)
+        boundary_of_cell.setdefault(int(labels[b]), set()).add(b)
+
+    adj: Dict[int, List[Tuple[int, float]]] = {}
+    clique_edges = 0
+    for cell, bverts in boundary_of_cell.items():
+        mask = labels == cell
+        bl = sorted(bverts)
+        for s in bl:
+            dist, _ = dijkstra(g, s, targets=bl, vertex_mask=mask)
+            lst = adj.setdefault(s, [])
+            for t in bl:
+                if t != s and t in dist:
+                    lst.append((t, dist[t]))
+                    clique_edges += 1
+
+    for e in partition.cut_edges:
+        a, b = g.edge_endpoints(int(e))
+        w = float(g.ewgt[int(e)])
+        adj.setdefault(a, []).append((b, w))
+        adj.setdefault(b, []).append((a, w))
+
+    return Overlay(
+        graph=g,
+        labels=labels,
+        adj=adj,
+        boundary_of_cell={c: sorted(s) for c, s in boundary_of_cell.items()},
+        clique_edges=clique_edges,
+        cut_edges=len(partition.cut_edges),
+    )
+
+
+def customize_overlay(overlay: Overlay, new_weights: np.ndarray) -> Overlay:
+    """CRP's *customization* phase: swap the metric, keep the partition.
+
+    The whole point of CRP's architecture is that the (expensive) partition
+    is metric-independent: changing edge weights — new travel-time profile,
+    avoid-highways, etc. — only requires recomputing the in-cell clique
+    distances, not repartitioning.  Returns a fresh overlay over a graph
+    with ``new_weights`` (one weight per undirected edge of the original).
+    """
+    g = overlay.graph
+    new_weights = np.asarray(new_weights, dtype=np.float64)
+    if new_weights.shape != (g.m,):
+        raise ValueError("need one weight per edge of the original graph")
+    if g.m and new_weights.min() <= 0:
+        raise ValueError("edge weights must be positive")
+    reweighted = Graph(
+        g.xadj, g.adjncy, g.eid, g.edge_u, g.edge_v, g.vsize, new_weights, coords=g.coords
+    )
+    return build_overlay(Partition(reweighted, overlay.labels))

@@ -1,0 +1,66 @@
+"""Two-level CRP queries on an overlay.
+
+A query from ``s`` to ``t`` runs Dijkstra on the *merged* search graph:
+the full interior of the source and target cells plus the overlay.  This
+is exact — every shortest path either stays inside the two endpoint cells
+or crosses boundary vertices, whose pairwise in-cell distances the overlay
+encodes — and its search space is governed by the overlay size rather than
+the input size.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Tuple
+
+import numpy as np
+
+from .overlay import Overlay
+
+__all__ = ["crp_query"]
+
+
+def crp_query(overlay: Overlay, s: int, t: int) -> Tuple[float, int]:
+    """Exact shortest-path distance; returns ``(distance, settled_count)``.
+
+    ``inf`` if ``t`` is unreachable from ``s``.
+    """
+    g = overlay.graph
+    labels = overlay.labels
+    cs, ct = int(labels[s]), int(labels[t])
+    in_endpoint_cell = (labels == cs) | (labels == ct)
+
+    xadj, adjncy = g.xadj, g.adjncy
+    wgt = g.half_edge_weights()
+    oadj = overlay.adj
+
+    dist = {s: 0.0}
+    settled = set()
+    heap: list = [(0.0, s)]
+    while heap:
+        d, v = heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if v == t:
+            return d, len(settled)
+
+        # local edges, only while inside the source or target cell
+        if in_endpoint_cell[v]:
+            lo, hi = xadj[v], xadj[v + 1]
+            for u, w in zip(adjncy[lo:hi], wgt[lo:hi]):
+                u = int(u)
+                if not in_endpoint_cell[u] and u not in oadj:
+                    continue  # interior of a foreign cell: overlay handles it
+                nd = d + float(w)
+                if nd < dist.get(u, np.inf):
+                    dist[u] = nd
+                    heappush(heap, (nd, u))
+        # overlay edges from boundary vertices
+        if v in oadj:
+            for u, w in oadj[v]:
+                nd = d + w
+                if nd < dist.get(u, np.inf):
+                    dist[u] = nd
+                    heappush(heap, (nd, u))
+    return float("inf"), len(settled)

@@ -1,0 +1,32 @@
+"""Filtering phase of PUNCH: tiny cuts, natural cuts, fragment extraction."""
+
+from .cut_problem import CutProblem, build_cut_problem, solve_cut_problem
+from .fragments import FragmentStats, fragment_labels, split_oversized
+from .natural_cuts import NaturalCutStats, collect_cut_problems, detect_natural_cuts
+from .onecuts import OneCutStats, one_cut_labels
+from .paths import PathStats, degree_two_labels
+from .pipeline import FilterResult, run_filtering
+from .tiny_cuts import TinyCutStats, run_tiny_cuts
+from .twocut_pass import TwoCutStats, two_cut_pass_labels
+
+__all__ = [
+    "run_filtering",
+    "FilterResult",
+    "run_tiny_cuts",
+    "TinyCutStats",
+    "one_cut_labels",
+    "OneCutStats",
+    "degree_two_labels",
+    "PathStats",
+    "two_cut_pass_labels",
+    "TwoCutStats",
+    "detect_natural_cuts",
+    "collect_cut_problems",
+    "NaturalCutStats",
+    "build_cut_problem",
+    "solve_cut_problem",
+    "CutProblem",
+    "fragment_labels",
+    "split_oversized",
+    "FragmentStats",
+]

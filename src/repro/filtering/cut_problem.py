@@ -1,0 +1,132 @@
+"""Construction of the contracted s-t min-cut subproblem for a natural cut.
+
+Given a BFS region (tree ``T`` grown to size ``alpha*U``, its core, and its
+ring — see paper Fig. 1), build the small instance on which the minimum cut
+is computed: the core is contracted to the source ``s``, the ring to the
+sink ``t``, the remaining tree vertices stay individual, and all edges among
+``T ∪ ring`` are kept (edges internal to the core or internal to the ring
+vanish; parallel edges merge for the flow network, but the original edge ids
+are retained so the cut can be reported in terms of input edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..flow.mincut import min_st_cut
+from ..graph.graph import Graph
+from ..graph.traversal import BFSRegion
+
+__all__ = ["CutProblem", "build_cut_problem", "solve_cut_problem"]
+
+S_LOCAL = 0
+T_LOCAL = 1
+
+
+@dataclass
+class CutProblem:
+    """A contracted s-t min-cut instance.
+
+    ``net_u/net_v/net_cap`` describe the merged flow network (local vertex 0
+    is ``s`` = contracted core, local vertex 1 is ``t`` = contracted ring).
+    ``cand_edges`` are the original-graph edge ids of all candidate edges
+    (one entry per *original* edge between distinct local supernodes), with
+    ``cand_lu/cand_lv`` their local endpoints — after solving, an original
+    edge is in the natural cut iff its local endpoints land on opposite
+    sides.
+    """
+
+    n_local: int
+    net_u: np.ndarray
+    net_v: np.ndarray
+    net_cap: np.ndarray
+    cand_edges: np.ndarray
+    cand_lu: np.ndarray
+    cand_lv: np.ndarray
+    center: int = -1
+
+    def solve(self, solver: str = "push_relabel") -> tuple[float, np.ndarray]:
+        """Solve this instance; see :func:`solve_cut_problem`."""
+        return solve_cut_problem(self, solver)
+
+
+def build_cut_problem(g: Graph, region: BFSRegion, center: int = -1) -> CutProblem | None:
+    """Build the contracted instance for one BFS region.
+
+    Returns ``None`` when the region has an empty ring (the BFS exhausted a
+    connected component, so there is nothing to cut).
+    """
+    if region.exhausted:
+        return None
+    tree = region.tree
+    core_count = region.core_count
+    ring = region.ring
+
+    # local ids: s=0, t=1, then non-core tree vertices 2..
+    local = {}
+    for v in tree[:core_count]:
+        local[int(v)] = S_LOCAL
+    for i, v in enumerate(tree[core_count:]):
+        local[int(v)] = 2 + i
+    for v in ring:
+        local[int(v)] = T_LOCAL
+    n_local = 2 + (len(tree) - core_count)
+
+    # collect edges with both endpoints inside T ∪ ring, via the tree's
+    # adjacency (every such edge is incident to a tree vertex)
+    xadj, eid, edge_u, edge_v = g.xadj, g.eid, g.edge_u, g.edge_v
+    eids = set()
+    for v in tree:
+        v = int(v)
+        for idx in range(xadj[v], xadj[v + 1]):
+            eids.add(int(eid[idx]))
+    cand_edges = []
+    cand_lu = []
+    cand_lv = []
+    for e in eids:
+        u = int(edge_u[e])
+        w = int(edge_v[e])
+        lu = local.get(u)
+        lv = local.get(w)
+        if lu is None or lv is None:
+            continue  # leaves the region (tree -> outside beyond the ring? impossible; ring -> outside pruned here)
+        if lu == lv:
+            continue  # internal to the core or to the ring
+        cand_edges.append(e)
+        cand_lu.append(lu)
+        cand_lv.append(lv)
+
+    cand_edges = np.asarray(cand_edges, dtype=np.int64)
+    cand_lu = np.asarray(cand_lu, dtype=np.int64)
+    cand_lv = np.asarray(cand_lv, dtype=np.int64)
+
+    # merge parallel (local) edges for the flow network
+    lo = np.minimum(cand_lu, cand_lv)
+    hi = np.maximum(cand_lu, cand_lv)
+    key = lo * np.int64(n_local) + hi
+    uniq, inv = np.unique(key, return_inverse=True)
+    cap = np.zeros(len(uniq), dtype=np.float64)
+    np.add.at(cap, inv, g.ewgt[cand_edges])
+    net_u = (uniq // n_local).astype(np.int64)
+    net_v = (uniq % n_local).astype(np.int64)
+
+    return CutProblem(
+        n_local=n_local,
+        net_u=net_u,
+        net_v=net_v,
+        net_cap=cap,
+        cand_edges=cand_edges,
+        cand_lu=cand_lu,
+        cand_lv=cand_lv,
+        center=center,
+    )
+
+
+def solve_cut_problem(p: CutProblem, solver: str = "push_relabel") -> tuple[float, np.ndarray]:
+    """Solve the min s-t cut; returns ``(cut_value, original_cut_edge_ids)``."""
+    res = min_st_cut(p.n_local, p.net_u, p.net_v, p.net_cap, S_LOCAL, T_LOCAL, solver=solver)
+    side = res.source_side
+    in_cut = side[p.cand_lu] != side[p.cand_lv]
+    return res.value, p.cand_edges[in_cut]

@@ -1,0 +1,45 @@
+"""Executors for embarrassingly parallel cut subproblems.
+
+The paper parallelizes natural-cut detection with OpenMP: "our
+implementation first picks all centers sequentially, then runs each
+minimum-cut computation (including the creation of the relevant subproblem)
+in parallel".  We reproduce the same two-stage structure behind a small
+executor abstraction:
+
+- ``"serial"``  — plain loop (default; deterministic, and the right choice
+  on a single-core box or under the GIL for CPU-bound pure-Python work).
+- ``"threads"`` — ``ThreadPoolExecutor``; useful when the flow solver
+  releases the GIL (e.g. the scipy backend).
+- ``"processes"`` — ``ProcessPoolExecutor``; true parallelism at the cost of
+  pickling subproblems.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["map_subproblems", "EXECUTORS"]
+
+EXECUTORS = ("serial", "threads", "processes")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def map_subproblems(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    executor: str = "serial",
+    workers: int | None = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, preserving order."""
+    if executor == "serial":
+        return [fn(x) for x in items]
+    if executor == "threads":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    if executor == "processes":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=max(1, len(items) // 64)))
+    raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")

@@ -1,0 +1,128 @@
+"""Natural-cut detection (paper Section 2, "Detecting Natural Cuts").
+
+The algorithm works in iterations.  Each iteration picks an uncovered vertex
+``v`` uniformly at random as a *center*, grows a BFS tree ``T`` from it until
+``s(T)`` reaches ``alpha * U``, takes the first vertices (while the tree was
+smaller than ``alpha * U / f``) as the *core* and the external neighbors of
+``T`` as the *ring*, and computes the minimum cut between the contracted core
+and the contracted ring.  Core vertices become covered; the loop ends when
+every vertex has been in some core, and the whole procedure repeats ``C``
+times (the *coverage*).  The union of all cut edges delimits the fragments.
+
+Center selection uses a pre-drawn random permutation: the first uncovered
+element of a uniform permutation is uniformly distributed among the
+uncovered vertices, so this is equivalent to the paper's rule while keeping
+the sweep O(n).
+
+Mirroring the paper's parallelization, each sweep first *collects* all
+subproblems sequentially (BFS + core marking, which determines the centers),
+then solves the min-cut instances through an executor.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.traversal import BFSWorkspace, grow_bfs_region
+from .cut_problem import CutProblem, build_cut_problem, solve_cut_problem
+from .executor import map_subproblems
+
+__all__ = ["NaturalCutStats", "detect_natural_cuts", "collect_cut_problems"]
+
+
+@dataclass
+class NaturalCutStats:
+    """Counters and distributions from natural-cut detection."""
+    centers: int = 0
+    problems_solved: int = 0
+    exhausted_regions: int = 0
+    cut_edges_marked: int = 0
+    total_cut_value: float = 0.0
+    cut_values: List[float] = field(default_factory=list)
+    tree_sizes: List[int] = field(default_factory=list)
+    core_sizes: List[int] = field(default_factory=list)
+    ring_sizes: List[int] = field(default_factory=list)
+
+
+def collect_cut_problems(
+    g: Graph,
+    U: int,
+    alpha: float,
+    f: float,
+    rng: np.random.Generator,
+    stats: NaturalCutStats | None = None,
+) -> List[CutProblem]:
+    """One coverage sweep: pick centers until every vertex is in some core.
+
+    Returns the list of min-cut subproblems (regions whose BFS exhausted a
+    component produce no problem — there is nothing to cut there).
+    """
+    max_size = max(2, int(math.ceil(alpha * U)))
+    core_size = max(1, int(math.ceil(alpha * U / f)))
+    ws = BFSWorkspace(g.n)
+    covered = np.zeros(g.n, dtype=bool)
+    problems: List[CutProblem] = []
+    for center in rng.permutation(g.n):
+        center = int(center)
+        if covered[center]:
+            continue
+        region = grow_bfs_region(g, ws, center, max_size, core_size)
+        covered[region.core] = True
+        if stats is not None:
+            stats.centers += 1
+            stats.tree_sizes.append(int(region.tree_size))
+            stats.core_sizes.append(int(len(region.core)))
+            stats.ring_sizes.append(int(len(region.ring)))
+        if region.exhausted:
+            if stats is not None:
+                stats.exhausted_regions += 1
+            continue
+        prob = build_cut_problem(g, region, center=center)
+        if prob is not None:
+            problems.append(prob)
+    return problems
+
+
+def _solve_one(problem: CutProblem, solver: str):
+    return solve_cut_problem(problem, solver)
+
+
+def detect_natural_cuts(
+    g: Graph,
+    U: int,
+    alpha: float = 1.0,
+    f: float = 10.0,
+    C: int = 2,
+    rng: np.random.Generator | None = None,
+    solver: str = "push_relabel",
+    executor: str = "serial",
+    workers: int | None = None,
+) -> tuple[np.ndarray, NaturalCutStats]:
+    """Run ``C`` coverage sweeps; returns ``(cut_edge_ids, stats)``.
+
+    ``cut_edge_ids`` is the union of all edges cut by any natural cut —
+    the set ``C`` of the paper, whose removal defines the fragments.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    stats = NaturalCutStats()
+    marked = np.zeros(g.m, dtype=bool)
+    for _ in range(max(1, int(C))):
+        problems = collect_cut_problems(g, U, alpha, f, rng, stats)
+        # functools.partial of a module-level function stays picklable for
+        # the "processes" executor (a lambda would not)
+        solve = functools.partial(_solve_one, solver=solver)
+        results = map_subproblems(solve, problems, executor=executor, workers=workers)
+        for value, cut_edges in results:
+            stats.problems_solved += 1
+            stats.total_cut_value += value
+            stats.cut_values.append(float(value))
+            marked[cut_edges] = True
+    cut_ids = np.flatnonzero(marked).astype(np.int64)
+    stats.cut_edges_marked = len(cut_ids)
+    return cut_ids, stats

@@ -1,0 +1,87 @@
+"""Tiny-cut pass 1: contract block-cut-tree subtrees (1-cuts).
+
+Paper, Section 2 ("Detecting Tiny Cuts"), first pass: identify the
+biconnected components, root the tree they form at the maximum-size
+component, traverse top-down, and contract every subtree of total size at
+most ``U`` into a single vertex.  A contracted subtree hangs off one
+articulation vertex, so the new vertex has degree 1; if the subtree's size
+is at most ``tau`` and it fits, it is additionally merged into that
+articulation vertex ("its neighbor in the parent component") — the paper's
+heuristic refinement with ``tau = 5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..graph.biconnected import build_block_cut_forest
+from ..graph.graph import Graph
+
+__all__ = ["one_cut_labels", "OneCutStats"]
+
+
+@dataclass
+class OneCutStats:
+    """Counters from tiny-cut pass 1."""
+    subtrees_contracted: int = 0
+    tau_merges: int = 0
+    vertices_removed: int = 0
+
+
+def one_cut_labels(g: Graph, U: int, tau: int = 5) -> tuple[np.ndarray, OneCutStats]:
+    """Compute contraction labels for pass 1.
+
+    Returns ``(labels, stats)``; contracting ``g`` by ``labels`` performs all
+    subtree contractions and ``tau``-merges.  Labels are vertex ids (each
+    group labeled by one of its members), so they are directly densifiable.
+    """
+    forest = build_block_cut_forest(g)
+    labels = np.arange(g.n, dtype=np.int64)
+    stats = OneCutStats()
+    # extra size already tau-merged into each articulation vertex
+    merged_extra = {}
+
+    for root in forest.roots:
+        # top-down BFS over tree nodes; at each articulation node, try to
+        # contract the subtrees hanging below it through each child block
+        queue: List[int] = [root]
+        while queue:
+            node = queue.pop()
+            for art in forest.children(node):
+                # `node` is a block node, `art` an articulation-vertex node
+                art = int(art)
+                for block in forest.children(art):
+                    block = int(block)
+                    sub_size = int(forest.subtree_size[block])
+                    if sub_size <= U:
+                        verts = forest.subtree_vertices(block)
+                        rep = int(verts[0])
+                        labels[verts] = rep
+                        stats.subtrees_contracted += 1
+                        stats.vertices_removed += len(verts) - 1
+                        # tau-merge into the articulation vertex if tiny
+                        a = _art_vertex(forest, art)
+                        if sub_size <= tau:
+                            acc = merged_extra.get(a, 0)
+                            if int(g.vsize[a]) + acc + sub_size <= U:
+                                labels[verts] = labels[a]
+                                merged_extra[a] = acc + sub_size
+                                stats.tau_merges += 1
+                                stats.vertices_removed += 1
+                    else:
+                        queue.append(block)
+    return labels, stats
+
+
+def _art_vertex(forest, art_node: int) -> int:
+    """Graph vertex behind an articulation tree node."""
+    # art_node ids are assigned densely after the blocks, in the order of
+    # np.flatnonzero(articulation); invert that once and cache on the forest.
+    cache = getattr(forest, "_art_vertex_cache", None)
+    if cache is None:
+        cache = {node: v for v, node in forest.art_node.items()}
+        forest._art_vertex_cache = cache
+    return cache[art_node]

@@ -1,0 +1,97 @@
+"""Tiny-cut pass 2: contract chains of degree-2 vertices.
+
+Paper, Section 2: "During the second pass, we identify all vertices of
+degree 2. We contract each path they induce to a single vertex, unless its
+total size exceeds U."
+
+Road networks are full of such chains (roads between intersections).  A
+maximal chain is found by walking outward from any unvisited degree-2
+vertex; pure cycles (a whole component of degree-2 vertices) are handled as
+well.  With ``chunk_large=True`` an oversized chain is greedily cut into
+consecutive pieces of size at most ``U`` instead of being skipped — a strict
+generalization we keep off by default to match the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["degree_two_labels", "PathStats"]
+
+
+@dataclass
+class PathStats:
+    """Counters from tiny-cut pass 2."""
+    chains_found: int = 0
+    chains_contracted: int = 0
+    chains_skipped: int = 0
+    vertices_removed: int = 0
+
+
+def _walk(g: Graph, start: int, deg2: np.ndarray, visited: np.ndarray) -> List[int]:
+    """Collect the maximal degree-2 chain through ``start`` (in path order)."""
+    chain = [start]
+    visited[start] = True
+    for direction in range(2):
+        prev = start
+        nbrs = g.neighbors(start)
+        if direction >= len(nbrs):
+            break
+        cur = int(nbrs[direction])
+        while deg2[cur] and not visited[cur]:
+            visited[cur] = True
+            if direction == 0:
+                chain.append(cur)
+            else:
+                chain.insert(0, cur)
+            nxt = [int(w) for w in g.neighbors(cur) if int(w) != prev]
+            if not nxt:
+                break
+            prev, cur = cur, nxt[0]
+        # `cur` is now an anchor (non-degree-2 / visited) vertex; not in chain
+    return chain
+
+
+def degree_two_labels(
+    g: Graph, U: int, chunk_large: bool = False
+) -> tuple[np.ndarray, PathStats]:
+    """Compute contraction labels for pass 2. Returns ``(labels, stats)``."""
+    labels = np.arange(g.n, dtype=np.int64)
+    stats = PathStats()
+    deg = g.degrees
+    deg2 = deg == 2
+    visited = np.zeros(g.n, dtype=bool)
+
+    for v in np.flatnonzero(deg2):
+        v = int(v)
+        if visited[v]:
+            continue
+        chain = _walk(g, v, deg2, visited)
+        stats.chains_found += 1
+        sizes = g.vsize[chain]
+        total = int(sizes.sum())
+        if total <= U:
+            labels[chain] = chain[0]
+            stats.chains_contracted += 1
+            stats.vertices_removed += len(chain) - 1
+        elif chunk_large:
+            # greedy consecutive chunks, each of size <= U
+            acc = 0
+            rep = chain[0]
+            for u, s in zip(chain, sizes):
+                s = int(s)
+                if acc + s > U:
+                    rep = u
+                    acc = 0
+                labels[u] = rep
+                acc += s
+            stats.chains_contracted += 1
+            stats.vertices_removed += len(chain) - len(np.unique(labels[chain]))
+        else:
+            stats.chains_skipped += 1
+    return labels, stats

@@ -1,0 +1,202 @@
+"""Tiny-cut pass 3: contract small components cut off by 2-cuts.
+
+Paper, Section 2: the relation "``e`` and ``f`` form a 2-cut but neither is
+a bridge" is an equivalence relation on edges; its classes are found in
+near-linear time (:mod:`repro.graph.twocuts`).  For each class ``S`` we
+compute the connected components of ``(V, E \\ S)`` and contract every
+component of size at most ``U``.
+
+The paper cannot afford Θ(|V|) work per class and traverses "two components
+at a time", skipping the largest.  We use an equally work-bounded scheme
+that is simpler to reason about: traversals start from the endpoints of the
+class edges, are expanded round-robin, are *merged* when they collide, and
+are *abandoned* the moment their size exceeds ``U`` (an oversized component
+can never be contracted, so finishing it is wasted work).  Every class thus
+costs ``O(min(|component|, U))`` per component instead of Θ(|V|).
+
+Contractions across classes are applied through a union-find that refuses
+any union pushing a group's size beyond ``U``, so the bound holds regardless
+of how components of different classes overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.twocuts import two_cut_classes
+
+__all__ = ["two_cut_pass_labels", "TwoCutStats", "class_components_bounded"]
+
+
+@dataclass
+class TwoCutStats:
+    """Counters from tiny-cut pass 3."""
+    classes: int = 0
+    components_contracted: int = 0
+    vertices_removed: int = 0
+
+
+class _SizeBoundedUF:
+    """Union-find over vertices that never lets a group exceed ``U``."""
+
+    def __init__(self, vsize: np.ndarray, U: int) -> None:
+        self.parent = np.arange(len(vsize), dtype=np.int64)
+        self.size = vsize.astype(np.int64).copy()
+        self.U = U
+
+    def find(self, x: int) -> int:
+        """Union-find root with path halving."""
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = int(p[x])
+        return x
+
+    def group_size(self, members: np.ndarray) -> int:
+        """Combined size of the groups containing ``members``."""
+        roots = {self.find(int(v)) for v in members}
+        return int(sum(int(self.size[r]) for r in roots))
+
+    def union_all(self, members: np.ndarray) -> bool:
+        """Union all members if the combined group fits in ``U``."""
+        roots = {self.find(int(v)) for v in members}
+        total = sum(int(self.size[r]) for r in roots)
+        if total > self.U:
+            return False
+        it = iter(roots)
+        base = next(it)
+        for r in it:
+            self.parent[r] = base
+        self.size[base] = total
+        return True
+
+
+def class_components_bounded(
+    g: Graph, class_edges: np.ndarray, U: int
+) -> List[np.ndarray]:
+    """Components of ``(V, E \\ class_edges)`` that have size <= U.
+
+    Uses the round-robin bounded traversal described in the module docstring;
+    only components containing an endpoint of a class edge can be small (all
+    others see no removed edge adjacent... they may still, but such a
+    component has no removed edge on its boundary and so equals a component
+    of G — the caller only passes connected graphs, so there is exactly one
+    such component: the rest of the graph, which we never want to traverse).
+    """
+    blocked = set(int(e) for e in class_edges)
+    seeds = np.unique(
+        np.concatenate([g.edge_u[list(blocked)], g.edge_v[list(blocked)]])
+    ).astype(np.int64)
+
+    owner: Dict[int, int] = {}  # vertex -> traversal id (union-find on ids)
+    trav_parent: List[int] = []
+    trav_members: List[List[int]] = []
+    trav_queue: List[List[int]] = []
+    trav_size: List[int] = []
+    trav_dead: List[bool] = []  # abandoned (oversized)
+
+    def tfind(i: int) -> int:
+        while trav_parent[i] != i:
+            trav_parent[i] = trav_parent[trav_parent[i]]
+            i = trav_parent[i]
+        return i
+
+    for v in seeds:
+        v = int(v)
+        if v in owner:
+            continue
+        tid = len(trav_parent)
+        trav_parent.append(tid)
+        trav_members.append([v])
+        trav_queue.append([v])
+        trav_size.append(int(g.vsize[v]))
+        trav_dead.append(trav_size[-1] > U)
+        owner[v] = tid
+
+    xadj, adjncy, eid, vsize = g.xadj, g.adjncy, g.eid, g.vsize
+    active = list(range(len(trav_parent)))
+    while True:
+        # refresh the active list: roots with non-empty queues, not dead
+        active = [i for i in active if tfind(i) == i and trav_queue[i] and not trav_dead[i]]
+        if len(active) <= 1:
+            # the last unfinished traversal is (w.h.p.) the big rest of the
+            # graph; by the paper's argument we may skip finishing it --
+            # unless it is genuinely small, so drain it only up to size U
+            if active:
+                i = active[0]
+                while trav_queue[i] and not trav_dead[i]:
+                    _expand_one(g, i, owner, tfind, trav_parent, trav_members, trav_queue, trav_size, trav_dead, blocked, U)
+                    i = tfind(i)
+            break
+        for i in list(active):
+            i = tfind(i)
+            if trav_dead[i] or not trav_queue[i]:
+                continue
+            _expand_one(g, i, owner, tfind, trav_parent, trav_members, trav_queue, trav_size, trav_dead, blocked, U)
+
+    comps = []
+    seen_roots = set()
+    for i in range(len(trav_parent)):
+        r = tfind(i)
+        if r in seen_roots:
+            continue
+        seen_roots.add(r)
+        if not trav_dead[r] and not trav_queue[r] and trav_size[r] <= U:
+            comps.append(np.asarray(trav_members[r], dtype=np.int64))
+    return comps
+
+
+def _expand_one(g, i, owner, tfind, trav_parent, trav_members, trav_queue, trav_size, trav_dead, blocked, U):
+    """Expand one vertex of traversal ``i`` (one round-robin step)."""
+    v = trav_queue[i].pop()
+    for idx in range(g.xadj[v], g.xadj[v + 1]):
+        e = int(g.eid[idx])
+        if e in blocked:
+            continue
+        w = int(g.adjncy[idx])
+        j = owner.get(w)
+        if j is None:
+            ri = tfind(i)
+            owner[w] = ri
+            trav_members[ri].append(w)
+            trav_queue[ri].append(w)
+            trav_size[ri] += int(g.vsize[w])
+            if trav_size[ri] > U:
+                trav_dead[ri] = True
+                return
+        else:
+            rj = tfind(j)
+            ri = tfind(i)
+            if ri != rj:
+                # collision: same component; merge traversals
+                trav_parent[rj] = ri
+                trav_members[ri].extend(trav_members[rj])
+                trav_queue[ri].extend(trav_queue[rj])
+                trav_size[ri] += trav_size[rj]
+                trav_dead[ri] = trav_dead[ri] or trav_dead[rj]
+                trav_members[rj] = []
+                trav_queue[rj] = []
+                if trav_size[ri] > U:
+                    trav_dead[ri] = True
+                    return
+
+
+def two_cut_pass_labels(
+    g: Graph, U: int, rng: np.random.Generator | None = None
+) -> tuple[np.ndarray, TwoCutStats]:
+    """Compute contraction labels for pass 3. Returns ``(labels, stats)``."""
+    stats = TwoCutStats()
+    classes = two_cut_classes(g, rng)
+    stats.classes = len(classes)
+    uf = _SizeBoundedUF(g.vsize, U)
+    for cls in classes:
+        for comp in class_components_bounded(g, cls, U):
+            if uf.union_all(comp):
+                stats.components_contracted += 1
+    labels = np.fromiter((uf.find(v) for v in range(g.n)), dtype=np.int64, count=g.n)
+    stats.vertices_removed = g.n - len(np.unique(labels))
+    return labels, stats

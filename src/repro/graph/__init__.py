@@ -1,0 +1,39 @@
+"""Graph substrate: CSR kernel, contraction, connectivity, small cuts, I/O."""
+
+from .builder import build_graph
+from .components import (
+    connected_components,
+    connected_components_masked,
+    is_connected,
+    largest_component,
+)
+from .contraction import ContractionChain, compose_labels, contract, identity_labels
+from .graph import Graph
+from .subgraph import induced_subgraph
+from .traversal import BFSRegion, BFSWorkspace, bfs_order, grow_bfs_region
+from .twocuts import bridges, edge_cut_labels, two_cut_classes
+from .validation import cut_edges_of_labeling, cut_weight, validate_graph
+
+__all__ = [
+    "Graph",
+    "build_graph",
+    "contract",
+    "compose_labels",
+    "identity_labels",
+    "ContractionChain",
+    "connected_components",
+    "connected_components_masked",
+    "is_connected",
+    "largest_component",
+    "induced_subgraph",
+    "BFSRegion",
+    "BFSWorkspace",
+    "bfs_order",
+    "grow_bfs_region",
+    "bridges",
+    "edge_cut_labels",
+    "two_cut_classes",
+    "cut_edges_of_labeling",
+    "cut_weight",
+    "validate_graph",
+]

@@ -1,0 +1,252 @@
+"""Biconnected components, articulation points, and the block-cut forest.
+
+Pass 1 of PUNCH's tiny-cut detection (paper Section 2, "Detecting Tiny
+Cuts") identifies the biconnected components of the graph, roots the tree
+they form at the maximum-size component, and contracts every subtree whose
+total vertex size is at most ``U``.  This module provides the substrate: an
+iterative Hopcroft–Tarjan DFS (explicit stacks — road networks have long
+paths that would blow the recursion limit) and a block-cut forest with
+rooted subtree sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["biconnected_components", "BlockCutForest", "build_block_cut_forest"]
+
+
+def biconnected_components(g: Graph) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Partition edges into biconnected components.
+
+    Returns ``(n_components, edge_comp, articulation)`` where ``edge_comp[e]``
+    is the component id of edge ``e`` (bridges form singleton components) and
+    ``articulation`` is a boolean mask over vertices.
+    """
+    n, m = g.n, g.m
+    xadj, adjncy, eid = g.xadj, g.adjncy, g.eid
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    parent_eid = np.full(n, -2, dtype=np.int64)
+    edge_comp = np.full(m, -1, dtype=np.int64)
+    art = np.zeros(n, dtype=bool)
+    ptr = xadj[:-1].astype(np.int64)  # next half-edge cursor per vertex
+
+    timer = 0
+    ncomp = 0
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        disc[root] = low[root] = timer
+        timer += 1
+        vstack: List[int] = [root]
+        estack: List[int] = []
+        root_children = 0
+        while vstack:
+            v = vstack[-1]
+            if ptr[v] < xadj[v + 1]:
+                he = ptr[v]
+                ptr[v] += 1
+                w = int(adjncy[he])
+                e = int(eid[he])
+                if e == parent_eid[v]:
+                    continue  # the tree edge back to the parent
+                if disc[w] == -1:
+                    estack.append(e)
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    parent_eid[w] = e
+                    vstack.append(w)
+                    if v == root:
+                        root_children += 1
+                elif disc[w] < disc[v]:
+                    # back edge to an ancestor (forward copies are skipped)
+                    estack.append(e)
+                    if disc[w] < low[v]:
+                        low[v] = disc[w]
+            else:
+                vstack.pop()
+                if vstack:
+                    u = vstack[-1]
+                    if low[v] < low[u]:
+                        low[u] = low[v]
+                    if low[v] >= disc[u]:
+                        # u separates v's subtree: close one biconnected comp
+                        pe = parent_eid[v]
+                        while True:
+                            e = estack.pop()
+                            edge_comp[e] = ncomp
+                            if e == pe:
+                                break
+                        ncomp += 1
+                        if u != root:
+                            art[u] = True
+        if root_children > 1:
+            art[root] = True
+    return ncomp, edge_comp, art
+
+
+@dataclass
+class BlockCutForest:
+    """The block-cut forest of a graph, rooted for top-down traversal.
+
+    Tree nodes are ``0..n_blocks-1`` (blocks) followed by one node per
+    articulation vertex.  Each graph vertex is *attributed* to exactly one
+    node: articulation vertices to their own node, other vertices to their
+    unique block (isolated vertices to a singleton pseudo-block).  Subtree
+    sizes and Euler intervals then make "the hanging piece below articulation
+    ``a`` through block ``B``" a contiguous slice of ``order``.
+    """
+
+    n_blocks: int
+    node_parent: np.ndarray  # parent tree-node per tree-node (-1 at roots)
+    node_of_vertex: np.ndarray  # attributed tree node per graph vertex
+    art_node: Dict[int, int]  # articulation vertex -> its tree node
+    subtree_size: np.ndarray  # total attributed vertex size per tree node
+    tin: np.ndarray
+    tout: np.ndarray
+    order: np.ndarray  # graph vertices sorted by tin of their attributed node
+    order_pos: np.ndarray  # prefix count: vertices with tin < tin[node]
+    roots: List[int] = field(default_factory=list)
+
+    def subtree_vertices(self, node: int) -> np.ndarray:
+        """All graph vertices attributed inside the subtree of ``node``."""
+        lo = self.order_pos[self.tin[node]]
+        hi = self.order_pos[self.tout[node]]
+        return self.order[lo:hi]
+
+    def children(self, node: int) -> np.ndarray:
+        """Child tree-nodes of ``node``."""
+        return self._children_list[node]
+
+    _children_list: List[np.ndarray] = field(default_factory=list)
+
+
+def build_block_cut_forest(g: Graph) -> BlockCutForest:
+    """Compute the rooted block-cut forest of ``g``.
+
+    Each tree of the forest is rooted at its maximum-vertex-size block (the
+    paper roots at "the maximum-size edge-connected component").
+    """
+    ncomp, edge_comp, art = biconnected_components(g)
+
+    # vertex-block incidence (unique pairs), vectorized
+    if g.m:
+        vv = np.concatenate([g.edge_u, g.edge_v]).astype(np.int64)
+        cc = np.concatenate([edge_comp, edge_comp])
+        pair = vv * np.int64(max(ncomp, 1)) + cc
+        uniq = np.unique(pair)
+        inc_v = (uniq // max(ncomp, 1)).astype(np.int64)
+        inc_b = (uniq % max(ncomp, 1)).astype(np.int64)
+    else:
+        inc_v = np.empty(0, dtype=np.int64)
+        inc_b = np.empty(0, dtype=np.int64)
+
+    # isolated vertices get singleton pseudo-blocks
+    touched = np.zeros(g.n, dtype=bool)
+    touched[inc_v] = True
+    isolated = np.flatnonzero(~touched)
+    n_blocks = ncomp + len(isolated)
+    if len(isolated):
+        inc_v = np.concatenate([inc_v, isolated])
+        inc_b = np.concatenate([inc_b, np.arange(ncomp, n_blocks, dtype=np.int64)])
+
+    n_nodes = n_blocks + int(art.sum())
+    art_vertices = np.flatnonzero(art)
+    art_node = {int(v): n_blocks + i for i, v in enumerate(art_vertices)}
+
+    # attribution of graph vertices to tree nodes
+    node_of_vertex = np.full(g.n, -1, dtype=np.int64)
+    # non-articulation vertices: their unique block
+    non_art_mask = ~art[inc_v]
+    node_of_vertex[inc_v[non_art_mask]] = inc_b[non_art_mask]
+    for v, node in art_node.items():
+        node_of_vertex[v] = node
+
+    # bipartite forest adjacency: block <-> its articulation vertices
+    adj: List[List[int]] = [[] for _ in range(n_nodes)]
+    art_pairs_mask = art[inc_v]
+    for v, b in zip(inc_v[art_pairs_mask], inc_b[art_pairs_mask]):
+        a_node = art_node[int(v)]
+        adj[int(b)].append(a_node)
+        adj[a_node].append(int(b))
+
+    # per-node attributed size
+    node_size = np.zeros(n_nodes, dtype=np.int64)
+    np.add.at(node_size, node_of_vertex, g.vsize)
+
+    # block vertex-size (including its articulation vertices) for root choice
+    block_size = np.zeros(n_blocks, dtype=np.int64)
+    np.add.at(block_size, inc_b, g.vsize[inc_v])
+
+    node_parent = np.full(n_nodes, -1, dtype=np.int64)
+    visited = np.zeros(n_nodes, dtype=bool)
+    subtree_size = node_size.copy()
+    tin = np.zeros(n_nodes, dtype=np.int64)
+    tout = np.zeros(n_nodes, dtype=np.int64)
+    children_list: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * n_nodes
+    roots: List[int] = []
+    clock = 0
+
+    # group blocks by connected tree: iterate blocks by decreasing size so the
+    # first unvisited block of each tree is its largest -> the root.
+    for b in np.argsort(-block_size, kind="stable"):
+        b = int(b)
+        if visited[b]:
+            continue
+        roots.append(b)
+        # iterative DFS with tin/tout
+        stack: List[Tuple[int, int]] = [(b, 0)]
+        visited[b] = True
+        tin[b] = clock
+        clock += 1
+        post: List[int] = []
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(adj[node]):
+                stack[-1] = (node, idx + 1)
+                nxt = adj[node][idx]
+                if not visited[nxt]:
+                    visited[nxt] = True
+                    node_parent[nxt] = node
+                    tin[nxt] = clock
+                    clock += 1
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                tout[node] = clock
+                post.append(node)
+        for node in post:
+            p = node_parent[node]
+            if p >= 0:
+                subtree_size[p] += subtree_size[node]
+        for node in post:
+            kids = [c for c in adj[node] if node_parent[c] == node]
+            children_list[node] = np.asarray(kids, dtype=np.int64)
+
+    # Euler-interval vertex ordering: sort vertices by tin of attributed node
+    order = np.argsort(tin[node_of_vertex], kind="stable").astype(np.int64)
+    # order_pos[t] = number of vertices whose node-tin < t, for t in [0, clock]
+    counts = np.bincount(tin[node_of_vertex], minlength=clock + 1)
+    order_pos = np.zeros(clock + 1, dtype=np.int64)
+    np.cumsum(counts[:-1], out=order_pos[1:])
+
+    forest = BlockCutForest(
+        n_blocks=n_blocks,
+        node_parent=node_parent,
+        node_of_vertex=node_of_vertex,
+        art_node=art_node,
+        subtree_size=subtree_size,
+        tin=tin,
+        tout=tout,
+        order=order,
+        order_pos=order_pos,
+        roots=roots,
+    )
+    forest._children_list = children_list
+    return forest

@@ -1,0 +1,117 @@
+"""Graph contraction by vertex labeling, and mapping composition.
+
+Contraction is the workhorse of both PUNCH phases: the filtering phase
+contracts tiny-cut subtrees, degree-2 chains, 2-cut components and natural-cut
+fragments; the assembly phase contracts fragments into cells.  All of it is
+expressed as *contract by label array*: given ``labels[v] in [0, n')`` the new
+graph has one vertex per label, vertex sizes are summed, internal edges vanish
+and parallel edges merge with summed weights (paper Section 2, "Filtering
+Phase", first paragraphs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .builder import build_graph
+from .graph import Graph
+
+__all__ = [
+    "contract",
+    "compose_labels",
+    "normalize_labels",
+    "identity_labels",
+    "ContractionChain",
+]
+
+
+def normalize_labels(labels: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Renumber arbitrary labels to the dense range ``[0, k)``.
+
+    Returns the dense label array and ``k`` (number of distinct labels).
+    """
+    labels = np.asarray(labels)
+    uniq, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(np.int64), int(len(uniq))
+
+
+def identity_labels(n: int) -> np.ndarray:
+    """The identity contraction (every vertex its own group)."""
+    return np.arange(n, dtype=np.int64)
+
+
+def compose_labels(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Compose two contraction maps: result[v] = second[first[v]]."""
+    return np.asarray(second)[np.asarray(first)]
+
+
+def contract(
+    g: Graph,
+    labels: np.ndarray,
+    coords: str | None = "mean",
+) -> Tuple[Graph, np.ndarray]:
+    """Contract ``g`` according to ``labels``.
+
+    Parameters
+    ----------
+    g : input graph.
+    labels : per-vertex group ids (arbitrary integers; densified internally).
+        Vertices with equal labels are merged into one super-vertex.
+    coords : ``"mean"`` to carry coordinates as size-weighted centroids of the
+        merged groups (if ``g`` has coordinates), ``None`` to drop them.
+
+    Returns
+    -------
+    (new_graph, dense_labels) : the contracted graph, and the dense label
+        array mapping each vertex of ``g`` to its vertex in ``new_graph``.
+    """
+    labels, k = normalize_labels(labels)
+    if len(labels) != g.n:
+        raise ValueError("labels must have length g.n")
+
+    vsize = np.bincount(labels, weights=g.vsize, minlength=k).astype(np.int64)
+
+    lu = labels[g.edge_u]
+    lv = labels[g.edge_v]
+    keep = lu != lv
+    new_coords = None
+    if coords == "mean" and g.coords is not None:
+        w = g.vsize.astype(np.float64)
+        tot = np.bincount(labels, weights=w, minlength=k)
+        cx = np.bincount(labels, weights=w * g.coords[:, 0], minlength=k) / tot
+        cy = np.bincount(labels, weights=w * g.coords[:, 1], minlength=k) / tot
+        new_coords = np.stack([cx, cy], axis=1)
+
+    new_g = build_graph(k, lu[keep], lv[keep], weights=g.ewgt[keep], coords=new_coords)
+    new_g.vsize = vsize
+    return new_g, labels
+
+
+class ContractionChain:
+    """Tracks the composition of successive contractions.
+
+    ``chain.map`` always maps *original* vertices to vertices of the current
+    (most contracted) graph, so a partition of the contracted graph can be
+    projected back: ``partition_of_original = cell_labels[chain.map]``.
+    """
+
+    def __init__(self, g: Graph) -> None:
+        self.original = g
+        self.current = g
+        self.map = identity_labels(g.n)
+
+    def apply(self, labels: np.ndarray, coords: Optional[str] = "mean") -> Graph:
+        """Contract the current graph by ``labels`` and extend the chain."""
+        new_g, dense = contract(self.current, labels, coords=coords)
+        self.map = compose_labels(self.map, dense)
+        self.current = new_g
+        return new_g
+
+    def project(self, cell_labels: np.ndarray) -> np.ndarray:
+        """Project a labeling of the current graph back to original vertices."""
+        cell_labels = np.asarray(cell_labels)
+        if len(cell_labels) != self.current.n:
+            raise ValueError("cell_labels must label the current graph")
+        return cell_labels[self.map]

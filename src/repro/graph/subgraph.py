@@ -1,0 +1,61 @@
+"""Induced subgraph extraction with vertex mappings.
+
+Used by the assembly phase to build auxiliary re-optimization instances
+(paper Section 3, "Local Search") and by the rebalancing algorithm for
+``G[W]`` (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .builder import build_graph
+from .graph import Graph
+
+__all__ = ["induced_subgraph"]
+
+
+def induced_subgraph(g: Graph, vertices: np.ndarray) -> Tuple[Graph, np.ndarray, np.ndarray]:
+    """Extract the subgraph induced by ``vertices``.
+
+    Returns ``(sub, sub_to_g, edge_ids)``:
+
+    - ``sub`` — the induced subgraph (vertex ``i`` of ``sub`` is
+      ``sub_to_g[i]`` in ``g``; sizes, weights, coordinates carried over).
+    - ``sub_to_g`` — the vertex mapping (a copy of ``vertices``).
+    - ``edge_ids`` — for each edge of ``sub``, the id of the corresponding
+      edge in ``g``.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if len(np.unique(vertices)) != len(vertices):
+        raise ValueError("vertex set contains duplicates")
+    inv = np.full(g.n, -1, dtype=np.int64)
+    inv[vertices] = np.arange(len(vertices), dtype=np.int64)
+
+    lu = inv[g.edge_u]
+    lv = inv[g.edge_v]
+    keep = (lu >= 0) & (lv >= 0)
+    edge_ids = np.flatnonzero(keep).astype(np.int64)
+
+    coords = g.coords[vertices] if g.coords is not None else None
+    sub = build_graph(
+        len(vertices),
+        lu[keep],
+        lv[keep],
+        weights=g.ewgt[keep],
+        sizes=g.vsize[vertices],
+        coords=coords,
+    )
+    # build_graph sorts merged edges by (u, v) key; since the induced edges
+    # are already simple, the merge is a permutation — recover its order so
+    # edge_ids aligns with sub's edge numbering.
+    key_sub = sub.edge_u.astype(np.int64) * len(vertices) + sub.edge_v
+    key_orig = np.minimum(lu[keep], lv[keep]) * np.int64(len(vertices)) + np.maximum(
+        lu[keep], lv[keep]
+    )
+    order = np.argsort(key_orig, kind="stable")
+    assert np.array_equal(np.sort(key_sub), key_orig[order])
+    edge_ids = edge_ids[order]
+    return sub, vertices.copy(), edge_ids

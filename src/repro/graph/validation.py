@@ -1,0 +1,36 @@
+"""Cross-cutting structural validation helpers for graphs and labelings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["validate_graph", "validate_labels", "cut_edges_of_labeling", "cut_weight"]
+
+
+def validate_graph(g: Graph) -> None:
+    """Run all structural invariant checks; raises ``AssertionError``."""
+    g.check()
+
+
+def validate_labels(g: Graph, labels: np.ndarray) -> None:
+    """Check that ``labels`` is a valid vertex labeling of ``g``."""
+    labels = np.asarray(labels)
+    if labels.shape != (g.n,):
+        raise ValueError(f"labels must have shape ({g.n},), got {labels.shape}")
+    if g.n and labels.min() < 0:
+        raise ValueError("labels must be non-negative")
+
+
+def cut_edges_of_labeling(g: Graph, labels: np.ndarray) -> np.ndarray:
+    """Edge ids whose endpoints carry different labels."""
+    labels = np.asarray(labels)
+    return np.flatnonzero(labels[g.edge_u] != labels[g.edge_v]).astype(np.int64)
+
+
+def cut_weight(g: Graph, labels: np.ndarray) -> float:
+    """Total weight of the cut induced by a vertex labeling (paper's cost)."""
+    labels = np.asarray(labels)
+    mask = labels[g.edge_u] != labels[g.edge_v]
+    return float(g.ewgt[mask].sum())

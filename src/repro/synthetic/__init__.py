@@ -1,0 +1,30 @@
+"""Synthetic inputs: road networks, grids, Delaunay graphs, named instances."""
+
+from .delaunay import delaunay_graph
+from .grid import grid_graph, grid_with_walls, two_blobs
+from .instances import (
+    INSTANCE_PARAMS,
+    STREET_NAMES,
+    TABLE1_NAMES,
+    instance,
+    instance_names,
+    street_instances,
+    table1_instances,
+)
+from .roadnet import RoadNetParams, road_network
+
+__all__ = [
+    "road_network",
+    "RoadNetParams",
+    "grid_graph",
+    "grid_with_walls",
+    "two_blobs",
+    "delaunay_graph",
+    "instance",
+    "instance_names",
+    "table1_instances",
+    "street_instances",
+    "INSTANCE_PARAMS",
+    "TABLE1_NAMES",
+    "STREET_NAMES",
+]

@@ -1,0 +1,90 @@
+"""Delaunay-based planar-ish graphs with a nonuniform density field.
+
+A complementary generator to :mod:`repro.synthetic.roadnet`: points are
+sampled from a mixture of Gaussian "population blobs" over the unit square
+and triangulated; long triangulation edges are pruned.  The result is a
+connected, planar, locally dense / globally sparse graph — useful for tests
+and for checking that PUNCH is not overfitted to the grid-city generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.builder import build_graph
+from ..graph.graph import Graph
+
+__all__ = ["delaunay_graph"]
+
+
+def delaunay_graph(
+    n: int,
+    blobs: int = 5,
+    blob_std: float = 0.06,
+    prune_quantile: float = 0.98,
+    seed: int = 0,
+) -> Graph:
+    """A Delaunay triangulation of clustered random points.
+
+    Parameters
+    ----------
+    n : number of points.
+    blobs : number of density clusters (plus a uniform background).
+    blob_std : standard deviation of each cluster.
+    prune_quantile : edges longer than this length quantile are dropped
+        (then connectivity is restored by re-adding the shortest dropped
+        edges across components).
+    seed : RNG seed.
+    """
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    n_bg = max(4, n // 5)
+    n_blob = n - n_bg
+    centers = rng.random((blobs, 2)) * 0.8 + 0.1
+    assign = rng.integers(0, blobs, size=n_blob)
+    pts_blob = centers[assign] + blob_std * rng.standard_normal((n_blob, 2))
+    pts = np.vstack([pts_blob, rng.random((n_bg, 2))])
+    pts = np.clip(pts, 0.0, 1.0)
+
+    tri = Delaunay(pts)
+    pairs = set()
+    for simplex in tri.simplices:
+        for i in range(3):
+            a, b = int(simplex[i]), int(simplex[(i + 1) % 3])
+            pairs.add((min(a, b), max(a, b)))
+    pairs = np.asarray(sorted(pairs), dtype=np.int64)
+    lengths = np.hypot(
+        pts[pairs[:, 0], 0] - pts[pairs[:, 1], 0],
+        pts[pairs[:, 0], 1] - pts[pairs[:, 1], 1],
+    )
+    cutoff = np.quantile(lengths, prune_quantile)
+    keep = lengths <= cutoff
+    g = build_graph(n, pairs[keep, 0], pairs[keep, 1], coords=pts)
+
+    # restore connectivity with the shortest pruned edges
+    from ..graph.components import connected_components
+
+    k, labels = connected_components(g)
+    if k > 1:
+        dropped = pairs[~keep]
+        dlen = lengths[~keep]
+        order = np.argsort(dlen)
+        extra_u, extra_v = [], []
+        for i in order:
+            a, b = int(dropped[i, 0]), int(dropped[i, 1])
+            if labels[a] != labels[b]:
+                extra_u.append(a)
+                extra_v.append(b)
+                labels[labels == labels[b]] = labels[a]
+                k -= 1
+                if k == 1:
+                    break
+        g = build_graph(
+            n,
+            np.concatenate([g.edge_u, np.asarray(extra_u, dtype=np.int64)]),
+            np.concatenate([g.edge_v, np.asarray(extra_v, dtype=np.int64)]),
+            weights=np.concatenate([g.ewgt, np.ones(len(extra_u))]),
+            coords=pts,
+        )
+    return g

@@ -1,0 +1,100 @@
+"""Grid-based synthetic graphs with planted separators.
+
+Simple, fully deterministic inputs for tests and micro-benchmarks: plain
+grids, grids with wall-and-corridor obstacles (planted natural cuts whose
+optimal location is known), and "two dense blobs joined by a thin bridge"
+instances for sanity-checking the cut detectors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.builder import build_graph
+from ..graph.graph import Graph
+
+__all__ = ["grid_graph", "grid_with_walls", "two_blobs"]
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid; vertex ``r * cols + c``, unit sizes/weights."""
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    right_u = idx[:, :-1].ravel()
+    right_v = idx[:, 1:].ravel()
+    down_u = idx[:-1, :].ravel()
+    down_v = idx[1:, :].ravel()
+    u = np.concatenate([right_u, down_u])
+    v = np.concatenate([right_v, down_v])
+    coords = np.stack(
+        [np.repeat(np.arange(rows), cols), np.tile(np.arange(cols), rows)], axis=1
+    ).astype(np.float64)
+    return build_graph(rows * cols, u, v, coords=coords)
+
+
+def grid_with_walls(
+    rows: int, cols: int, wall_cols: List[int], gap_rows: List[int] | None = None
+) -> Graph:
+    """A grid with vertical walls pierced by small gaps.
+
+    Every column in ``wall_cols`` has its horizontal edges (``c -> c + 1``)
+    removed except at ``gap_rows`` (default: the middle row).  The gaps are
+    planted natural cuts: the minimum cut separating the left of a wall from
+    the right is exactly ``len(gap_rows)``.
+    """
+    if gap_rows is None:
+        gap_rows = [rows // 2]
+    gap_set = set(gap_rows)
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    us: List[int] = []
+    vs: List[int] = []
+    wall_set = set(wall_cols)
+    for r in range(rows):
+        for c in range(cols - 1):
+            if c in wall_set and r not in gap_set:
+                continue
+            us.append(int(idx[r, c]))
+            vs.append(int(idx[r, c + 1]))
+    for r in range(rows - 1):
+        for c in range(cols):
+            us.append(int(idx[r, c]))
+            vs.append(int(idx[r + 1, c]))
+    coords = np.stack(
+        [np.repeat(np.arange(rows), cols), np.tile(np.arange(cols), rows)], axis=1
+    ).astype(np.float64)
+    return build_graph(rows * cols, np.asarray(us), np.asarray(vs), coords=coords)
+
+
+def two_blobs(blob: int, bridge_len: int = 1, seed: int = 0) -> Tuple[Graph, int]:
+    """Two random dense blobs of ``blob`` vertices joined by a path.
+
+    Returns ``(graph, expected_min_cut)`` — the bridge path has unit width,
+    so any natural cut separating the blobs has weight 1.
+    """
+    rng = np.random.default_rng(seed)
+    n = 2 * blob + max(0, bridge_len - 1)
+    us: List[int] = []
+    vs: List[int] = []
+
+    def dense(offset: int) -> None:
+        # a connected random graph with ~4 * blob edges
+        for i in range(1, blob):
+            us.append(offset + i)
+            vs.append(offset + int(rng.integers(0, i)))
+        extra = 3 * blob
+        a = rng.integers(0, blob, size=extra)
+        b = rng.integers(0, blob, size=extra)
+        for x, y in zip(a, b):
+            if x != y:
+                us.append(offset + int(x))
+                vs.append(offset + int(y))
+
+    dense(0)
+    dense(blob)
+    # bridge path from vertex 0 to vertex `blob`
+    path = [0] + [2 * blob + i for i in range(bridge_len - 1)] + [blob]
+    for a, b in zip(path[:-1], path[1:]):
+        us.append(a)
+        vs.append(b)
+    return build_graph(n, np.asarray(us), np.asarray(vs)), 1

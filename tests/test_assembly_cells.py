@@ -1,0 +1,103 @@
+"""Unit tests for the mutable partition state (the contracted view H)."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import PartitionState
+
+from .conftest import cycle_graph, make_graph, random_connected_graph
+
+
+class TestPartitionStateConstruction:
+    def test_cost_matches_cut(self):
+        g = cycle_graph(6)
+        state = PartitionState(g, np.asarray([0, 0, 0, 1, 1, 1]))
+        assert state.cost == 2.0
+        state.check()
+
+    def test_h_weights(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        state = PartitionState(g, np.asarray([0, 0, 1, 1]))
+        (pair,) = state.adjacent_pairs()
+        a, b = pair
+        assert state.H[a][b] == 2.0
+
+    def test_cell_sizes(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(3, [0, 1], [1, 2], sizes=[2, 3, 4])
+        state = PartitionState(g, np.asarray([0, 0, 1]))
+        assert sorted(state.cell_size.values()) == [4, 5]
+
+    def test_rejects_wrong_length(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            PartitionState(g, np.asarray([0, 1]))
+
+    def test_singleton_cells(self):
+        g = cycle_graph(5)
+        state = PartitionState(g, np.arange(5))
+        assert state.num_cells() == 5
+        assert state.cost == 5.0
+        state.check()
+
+
+class TestReplaceCells:
+    def test_merge_two_cells(self):
+        g = cycle_graph(6)
+        state = PartitionState(g, np.asarray([0, 0, 1, 1, 2, 2]))
+        old_cost = state.cost
+        # merge cells containing vertices 0 and 2
+        c0, c1 = int(state.labels[0]), int(state.labels[2])
+        members = state.cell_members[c0] + state.cell_members[c1]
+        new_id = state.fresh_cell_id()
+        state.replace_cells({c0, c1}, {new_id: members})
+        state.cost = state.recompute_cost()
+        state.check()
+        assert state.num_cells() == 2
+        assert state.cost < old_cost
+
+    def test_split_cell(self):
+        g = cycle_graph(6)
+        state = PartitionState(g, np.asarray([0, 0, 0, 0, 0, 0]))
+        a = state.fresh_cell_id()
+        b = state.fresh_cell_id()
+        state.replace_cells({0}, {a: [0, 1, 2], b: [3, 4, 5]})
+        state.cost = state.recompute_cost()
+        state.check()
+        assert state.num_cells() == 2
+        assert state.cost == 2.0
+
+    def test_rejects_mismatched_fragments(self):
+        g = cycle_graph(4)
+        state = PartitionState(g, np.asarray([0, 0, 1, 1]))
+        with pytest.raises(ValueError):
+            state.replace_cells({0}, {9: [0]})  # loses vertex 1
+
+    def test_h_mirrors_consistent_after_replace(self):
+        g = random_connected_graph(30, 25, seed=3)
+        rng = np.random.default_rng(0)
+        state = PartitionState(g, rng.integers(0, 6, size=g.n))
+        # random sequence of merges keeps H consistent
+        for _ in range(5):
+            cells = list(state.cells())
+            if len(cells) < 2:
+                break
+            a, b = rng.choice(cells, size=2, replace=False)
+            members = state.cell_members[int(a)] + state.cell_members[int(b)]
+            nid = state.fresh_cell_id()
+            state.replace_cells({int(a), int(b)}, {nid: members})
+            state.cost = state.recompute_cost()
+            state.check()
+
+    def test_fresh_ids_increase(self):
+        g = cycle_graph(4)
+        state = PartitionState(g, np.asarray([0, 0, 1, 1]))
+        assert state.fresh_cell_id() < state.fresh_cell_id()
+
+    def test_max_cell_size(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(3, [0, 1], [1, 2], sizes=[2, 3, 4])
+        state = PartitionState(g, np.asarray([0, 1, 1]))
+        assert state.max_cell_size() == 7

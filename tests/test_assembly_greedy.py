@@ -1,0 +1,150 @@
+"""Unit tests for the randomized greedy and the score function."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import (
+    adjacency_of_graph,
+    biased_r,
+    greedy_assemble,
+    greedy_labels_for_graph,
+    pair_score,
+)
+from repro.graph import cut_weight
+
+from .conftest import (
+    barbell,
+    complete_graph,
+    cycle_graph,
+    make_graph,
+    path_graph,
+    random_connected_graph,
+)
+
+
+class TestBiasedR:
+    def test_range(self, rng):
+        vals = [biased_r(rng) for _ in range(2000)]
+        assert all(0 <= v <= 1 for v in vals)
+
+    def test_bias_towards_upper_interval(self, rng):
+        vals = np.asarray([biased_r(rng, a=0.03, b=0.6) for _ in range(4000)])
+        # ~97% of draws land in [b, 1]
+        assert (vals >= 0.6).mean() > 0.9
+
+    def test_low_branch_hit(self, rng):
+        vals = np.asarray([biased_r(rng, a=0.5, b=0.6) for _ in range(2000)])
+        assert (vals < 0.6).mean() == pytest.approx(0.5, abs=0.08)
+
+
+class TestPairScore:
+    def test_prefers_small_tight_pairs(self, rng):
+        # deterministic comparison via expectation over many draws
+        big = np.mean([pair_score(1.0, 100, 100, rng) for _ in range(500)])
+        small = np.mean([pair_score(1.0, 1, 1, rng) for _ in range(500)])
+        assert small > big
+
+    def test_weight_scales_score(self, rng):
+        w1 = np.mean([pair_score(1.0, 4, 4, rng) for _ in range(500)])
+        w5 = np.mean([pair_score(5.0, 4, 4, rng) for _ in range(500)])
+        assert w5 > 3 * w1
+
+
+class TestGreedyAssemble:
+    def test_respects_size_bound(self):
+        for seed in range(5):
+            g = random_connected_graph(40, 30, seed=seed)
+            rng = np.random.default_rng(seed)
+            for U in (3, 7, 15):
+                labels = greedy_assemble(g.vsize, adjacency_of_graph(g), U, rng)
+                sizes = np.bincount(labels, weights=g.vsize, minlength=g.n)
+                assert sizes.max() <= U
+
+    def test_maximality(self):
+        """When greedy stops, no adjacent pair of groups fits within U."""
+        g = random_connected_graph(30, 20, seed=1)
+        rng = np.random.default_rng(1)
+        U = 8
+        labels = greedy_assemble(g.vsize, adjacency_of_graph(g), U, rng)
+        sizes = {}
+        for v, l in enumerate(labels):
+            sizes[int(l)] = sizes.get(int(l), 0) + int(g.vsize[v])
+        for e in range(g.m):
+            a, b = g.edge_endpoints(e)
+            la, lb = int(labels[a]), int(labels[b])
+            if la != lb:
+                assert sizes[la] + sizes[lb] > U
+
+    def test_groups_connected(self):
+        """Greedy merges only adjacent pairs, so groups stay connected."""
+        from repro.graph import induced_subgraph, is_connected
+
+        g = random_connected_graph(35, 15, seed=4)
+        rng = np.random.default_rng(2)
+        labels = greedy_assemble(g.vsize, adjacency_of_graph(g), 9, rng)
+        for grp in np.unique(labels):
+            members = np.flatnonzero(labels == grp)
+            sub, _, _ = induced_subgraph(g, members)
+            assert is_connected(sub)
+
+    def test_whole_graph_merges_when_it_fits(self):
+        g = cycle_graph(6)
+        rng = np.random.default_rng(0)
+        labels = greedy_assemble(g.vsize, adjacency_of_graph(g), 6, rng)
+        assert len(np.unique(labels)) == 1
+
+    def test_barbell_splits_at_bridge(self):
+        g = barbell(5)
+        rng = np.random.default_rng(0)
+        labels = greedy_assemble(g.vsize, adjacency_of_graph(g), 5, rng)
+        assert len(np.unique(labels)) == 2
+        assert cut_weight(g, labels) == 1.0
+
+    def test_oversized_vertices_stay_alone(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(3, [0, 1], [1, 2], sizes=[5, 5, 5])
+        rng = np.random.default_rng(0)
+        labels = greedy_assemble(g.vsize, adjacency_of_graph(g), 6, rng)
+        assert len(np.unique(labels)) == 3
+
+    def test_disconnected_graph(self):
+        g = make_graph(4, [(0, 1), (2, 3)])
+        rng = np.random.default_rng(0)
+        labels = greedy_assemble(g.vsize, adjacency_of_graph(g), 4, rng)
+        # never merges across components
+        assert labels[0] != labels[2]
+
+    def test_empty_graph(self):
+        labels = greedy_assemble(
+            np.asarray([], dtype=np.int64), [], 4, np.random.default_rng(0)
+        )
+        assert len(labels) == 0
+
+    def test_adjacency_of_graph_symmetry(self):
+        g = random_connected_graph(20, 10, seed=8)
+        adj = adjacency_of_graph(g)
+        for u in range(g.n):
+            for v, w in adj[u].items():
+                assert adj[v][u] == w
+
+
+class TestGreedyLabelsForGraph:
+    def test_dense_output(self):
+        g = complete_graph(8)
+        labels = greedy_labels_for_graph(g, 3, np.random.default_rng(0))
+        assert labels.min() == 0
+        assert labels.max() == len(np.unique(labels)) - 1
+
+    def test_randomness_varies_with_seed(self):
+        g = random_connected_graph(60, 60, seed=0)
+        l1 = greedy_labels_for_graph(g, 6, np.random.default_rng(1))
+        l2 = greedy_labels_for_graph(g, 6, np.random.default_rng(2))
+        # different seeds essentially never produce identical partitions here
+        assert not np.array_equal(l1, l2)
+
+    def test_deterministic_given_seed(self):
+        g = random_connected_graph(60, 60, seed=0)
+        l1 = greedy_labels_for_graph(g, 6, np.random.default_rng(7))
+        l2 = greedy_labels_for_graph(g, 6, np.random.default_rng(7))
+        assert np.array_equal(l1, l2)

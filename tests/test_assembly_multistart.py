@@ -1,0 +1,65 @@
+"""Unit tests for multistart and the assembly driver."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import multistart, run_assembly
+from repro.core.config import AssemblyConfig
+
+from .conftest import barbell, random_connected_graph
+
+
+class TestMultistart:
+    def test_returns_best_of_iterations(self):
+        g = random_connected_graph(40, 35, seed=1)
+        cfg = AssemblyConfig(multistart=4, phi=4)
+        sol, stats = multistart(g, 10, cfg, np.random.default_rng(0))
+        assert stats.iterations == 4
+        assert sol.cost == min(stats.iteration_costs)
+
+    def test_multistart_no_worse_than_single(self):
+        g = random_connected_graph(50, 45, seed=2)
+        s1, _ = multistart(g, 12, AssemblyConfig(multistart=1, phi=4), np.random.default_rng(3))
+        s4, _ = multistart(g, 12, AssemblyConfig(multistart=4, phi=4), np.random.default_rng(3))
+        assert s4.cost <= s1.cost + 1e-9
+
+    def test_combination_runs(self):
+        g = random_connected_graph(35, 30, seed=4)
+        cfg = AssemblyConfig(multistart=5, phi=2, use_combination=True, pool_capacity=2)
+        sol, stats = multistart(g, 8, cfg, np.random.default_rng(5))
+        assert stats.combinations > 0
+        sizes = np.bincount(sol.labels, weights=g.vsize)
+        assert sizes.max() <= 8
+
+    def test_solution_feasible(self):
+        g = random_connected_graph(45, 40, seed=6)
+        sol, _ = multistart(g, 7, AssemblyConfig(phi=4), np.random.default_rng(1))
+        sizes = np.bincount(sol.labels, weights=g.vsize)
+        assert sizes.max() <= 7
+
+    def test_optimal_on_barbell(self):
+        g = barbell(5)
+        sol, _ = multistart(g, 5, AssemblyConfig(multistart=2, phi=8), np.random.default_rng(0))
+        assert sol.cost == 1.0
+
+
+class TestRunAssembly:
+    def test_result_fields(self):
+        g = random_connected_graph(30, 25, seed=0)
+        res = run_assembly(g, 8, AssemblyConfig(phi=4), np.random.default_rng(0))
+        assert res.cost >= 0
+        assert res.num_cells == len(np.unique(res.labels))
+        assert res.time_assembly > 0
+
+    def test_rejects_oversized_fragment(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(2, [0], [1], sizes=[5, 1])
+        with pytest.raises(ValueError):
+            run_assembly(g, 4, AssemblyConfig(), np.random.default_rng(0))
+
+    def test_default_config(self):
+        g = random_connected_graph(20, 15, seed=3)
+        res = run_assembly(g, 6, rng=np.random.default_rng(2))
+        sizes = np.bincount(res.labels, weights=g.vsize)
+        assert sizes.max() <= 6

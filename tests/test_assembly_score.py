@@ -1,0 +1,68 @@
+"""Dedicated tests for the biased randomization and score edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import biased_r, pair_score
+
+
+class TestBiasedREdgeCases:
+    def test_a_zero_always_upper(self, rng):
+        vals = [biased_r(rng, a=0.0, b=0.6) for _ in range(500)]
+        assert all(v >= 0.6 for v in vals)
+
+    def test_a_one_always_lower(self, rng):
+        vals = [biased_r(rng, a=1.0, b=0.6) for _ in range(500)]
+        assert all(v <= 0.6 for v in vals)
+
+    def test_b_zero(self, rng):
+        # lower branch degenerates to 0; upper covers [0, 1]
+        vals = [biased_r(rng, a=0.5, b=0.0) for _ in range(500)]
+        assert all(0 <= v <= 1 for v in vals)
+
+    def test_b_one(self, rng):
+        vals = [biased_r(rng, a=0.5, b=1.0) for _ in range(500)]
+        assert all(0 <= v <= 1 for v in vals)
+
+    def test_default_mean_reasonable(self, rng):
+        # with a=0.03, b=0.6 the expectation is ~0.03*0.3 + 0.97*0.8 ~ 0.785
+        vals = np.asarray([biased_r(rng) for _ in range(6000)])
+        assert vals.mean() == pytest.approx(0.785, abs=0.03)
+
+
+class TestPairScoreProperties:
+    def test_positive(self, rng):
+        assert pair_score(3.0, 5, 7, rng) > 0
+
+    def test_symmetric_in_sizes(self, rng):
+        # expectation symmetric under swapping s(u), s(v)
+        a = np.mean([pair_score(1.0, 2, 8, rng) for _ in range(800)])
+        b = np.mean([pair_score(1.0, 8, 2, rng) for _ in range(800)])
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_smaller_partner_dominates(self, rng):
+        # sqrt(1/1) = 1 dominates sqrt(1/100) = 0.1: the small region drives
+        # the score, implementing the paper's "higher importance to the
+        # smaller region"
+        small_pair = np.mean([pair_score(1.0, 1, 100, rng) for _ in range(500)])
+        large_pair = np.mean([pair_score(1.0, 100, 100, rng) for _ in range(500)])
+        assert small_pair > 3 * large_pair
+
+    def test_greedy_inline_matches_module_distribution(self):
+        """The inlined biased sampler in greedy_assemble follows the same
+        distribution as assembly.score.biased_r."""
+        from repro.assembly.greedy import _RandomBuffer
+
+        rng = np.random.default_rng(0)
+        a, b = 0.03, 0.6
+        buf = _RandomBuffer(rng)
+        one_minus = (1.0 - b) / (1.0 - a)
+        vals = []
+        for _ in range(6000):
+            u = buf.next()
+            vals.append(b * (u / a) if u < a else b + (u - a) * one_minus)
+        vals = np.asarray(vals)
+        ref_rng = np.random.default_rng(1)
+        ref = np.asarray([biased_r(ref_rng, a, b) for _ in range(6000)])
+        assert vals.mean() == pytest.approx(ref.mean(), abs=0.02)
+        assert (vals < b).mean() == pytest.approx((ref < b).mean(), abs=0.02)

@@ -1,0 +1,121 @@
+"""Tests for rebalancing and the balanced PUNCH driver (paper Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro import run_balanced_punch
+from repro.balanced import balanced_cell_bound, balanced_from_fragments, rebalance
+from repro.core.config import AssemblyConfig, BalancedConfig
+from repro.filtering import run_filtering
+
+from .conftest import make_graph, random_connected_graph
+
+FAST = BalancedConfig(
+    starts_numerator=4, rebalance_attempts=4, phi_unbalanced=16, phi_rebalance=8
+)
+
+
+class TestBalancedCellBound:
+    def test_formula(self):
+        # floor(1.03 * ceil(100 / 8)) = floor(1.03 * 13) = 13
+        assert balanced_cell_bound(100, 8, 0.03) == 13
+
+    def test_zero_epsilon(self):
+        assert balanced_cell_bound(100, 4, 0.0) == 25
+
+    def test_large_epsilon(self):
+        assert balanced_cell_bound(100, 4, 1.0) == 50
+
+
+class TestRebalance:
+    def _frag_and_labels(self, seed=0):
+        g = random_connected_graph(60, 50, seed=seed)
+        rng = np.random.default_rng(seed)
+        from repro.assembly import greedy_labels_for_graph
+
+        labels = greedy_labels_for_graph(g, 8, rng)
+        return g, labels, rng
+
+    def test_already_balanced_passthrough(self):
+        g, labels, rng = self._frag_and_labels()
+        ell = len(np.unique(labels))
+        out = rebalance(g, labels, k=ell, U=10**6, cfg=AssemblyConfig(phi=2),
+                        phi_rebalance=4, rng=rng)
+        assert out.success
+        assert len(np.unique(out.labels)) == ell
+
+    def test_reduces_to_k_cells(self):
+        g, labels, rng = self._frag_and_labels(seed=1)
+        ell = len(np.unique(labels))
+        k = max(2, ell // 2)
+        U = balanced_cell_bound(g.total_size(), k, 0.2)
+        out = rebalance(g, labels, k, U, AssemblyConfig(phi=2), 4, rng)
+        if out.success:
+            assert len(np.unique(out.labels)) <= k
+            sizes = np.bincount(out.labels, weights=g.vsize)
+            assert sizes.max() <= U
+
+    def test_impossible_bound_fails(self):
+        g, labels, rng = self._frag_and_labels(seed=2)
+        out = rebalance(g, labels, k=2, U=10, cfg=AssemblyConfig(phi=2),
+                        phi_rebalance=4, rng=rng)  # total size 60 >> 2*10
+        assert not out.success
+
+    def test_cost_matches_labels(self):
+        g, labels, rng = self._frag_and_labels(seed=3)
+        ell = len(np.unique(labels))
+        k = max(2, ell - 2)
+        U = balanced_cell_bound(g.total_size(), k, 0.5)
+        out = rebalance(g, labels, k, U, AssemblyConfig(phi=2), 4, rng)
+        if out.success:
+            expected = float(
+                g.ewgt[out.labels[g.edge_u] != out.labels[g.edge_v]].sum()
+            )
+            assert out.cost == pytest.approx(expected)
+
+
+class TestRunBalancedPunch:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_feasible_partitions(self, road_small, k):
+        res = run_balanced_punch(road_small, k, 0.03, FAST, np.random.default_rng(k))
+        assert res.feasible()
+        assert res.partition.num_cells <= k
+        assert res.partition.max_cell_size() <= res.U_star
+
+    def test_epsilon_respected(self, road_small):
+        res = run_balanced_punch(road_small, 4, 0.10, FAST, np.random.default_rng(0))
+        ideal = -(-road_small.n // 4)
+        assert res.partition.max_cell_size() <= int(1.10 * ideal)
+
+    def test_invalid_k(self, road_small):
+        with pytest.raises(ValueError):
+            run_balanced_punch(road_small, 0)
+
+    def test_from_fragments_reuse(self, road_small):
+        """Sharing one filtering across runs gives valid results."""
+        U_star = balanced_cell_bound(road_small.total_size(), 4, 0.03)
+        rng = np.random.default_rng(1)
+        filt = run_filtering(road_small, U_star // 3, rng=rng)
+        r1 = balanced_from_fragments(
+            road_small, filt.fragment_graph, filt.map, 4, U_star, FAST, rng
+        )
+        r2 = balanced_from_fragments(
+            road_small, filt.fragment_graph, filt.map, 4, U_star, FAST, rng
+        )
+        assert r1.feasible() and r2.feasible()
+
+    def test_strong_config_uses_more_starts(self):
+        assert BalancedConfig(strong=True).numerator == 256
+        assert BalancedConfig(strong=False).numerator == 32
+        assert BalancedConfig(starts_numerator=7).numerator == 7
+
+    def test_unbalanced_costs_recorded(self, road_small):
+        res = run_balanced_punch(road_small, 4, 0.05, FAST, np.random.default_rng(2))
+        assert len(res.unbalanced_costs) >= 1
+        # balanced solutions can't be cheaper than the unbalanced ones they
+        # came from in the typical case, but must at least exist
+        assert res.cost >= 0
+
+    def test_summary(self, road_small):
+        res = run_balanced_punch(road_small, 2, 0.05, FAST, np.random.default_rng(3))
+        assert "k=2" in res.summary()

@@ -1,0 +1,163 @@
+"""Tests for the baseline partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    coarsen,
+    fm_refine,
+    heavy_edge_matching,
+    inertial_bisect,
+    inertial_flow_partition,
+    multilevel_partition_U,
+    multilevel_partition_k,
+    region_growing_partition,
+)
+from repro.core import Partition
+from repro.graph import contract, cut_weight
+
+from .conftest import barbell, cycle_graph, make_graph, random_connected_graph
+
+
+class TestHeavyEdgeMatching:
+    def test_groups_of_at_most_two(self, rng):
+        g = random_connected_graph(30, 20, seed=0)
+        labels = heavy_edge_matching(g, rng)
+        counts = np.bincount(np.unique(labels, return_inverse=True)[1])
+        assert counts.max() <= 2
+
+    def test_prefers_heavy_edges(self, rng):
+        from repro.graph.builder import build_graph
+
+        # triangle with one heavy edge
+        g = build_graph(3, [0, 0, 1], [1, 2, 2], weights=[10.0, 1.0, 1.0])
+        labels = heavy_edge_matching(g, rng)
+        assert labels[0] == labels[1]
+
+    def test_max_size_respected(self, rng):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(2, [0], [1], sizes=[3, 3])
+        labels = heavy_edge_matching(g, rng, max_size=4)
+        assert labels[0] != labels[1]
+
+    def test_shrinks_graph(self, rng):
+        g = random_connected_graph(40, 40, seed=1)
+        labels = heavy_edge_matching(g, rng)
+        cg, _ = contract(g, labels)
+        assert cg.n < g.n
+
+
+class TestCoarsen:
+    def test_hierarchy_shrinks(self, rng):
+        g = random_connected_graph(60, 60, seed=2)
+        levels = coarsen(g, rng, target_n=10)
+        assert len(levels) >= 1
+        ns = [g.n] + [lvl[0].n for lvl in levels]
+        assert all(a > b for a, b in zip(ns, ns[1:]))
+
+    def test_size_preserved(self, rng):
+        g = random_connected_graph(50, 40, seed=3)
+        levels = coarsen(g, rng, target_n=8)
+        assert levels[-1][0].total_size() == g.total_size()
+
+
+class TestFMRefine:
+    def test_improves_bad_bipartition(self, rng):
+        g = barbell(8)
+        bad = np.asarray([0, 1] * 8)
+        refined = fm_refine(g, bad, max_size=9, rng=rng)
+        assert cut_weight(g, refined) < cut_weight(g, bad)
+
+    def test_respects_max_size(self, rng):
+        g = random_connected_graph(30, 30, seed=4)
+        labels = np.asarray([0, 1] * 15)
+        refined = fm_refine(g, labels, max_size=20, rng=rng)
+        sizes = np.bincount(refined, weights=g.vsize)
+        assert sizes.max() <= 20
+
+    def test_never_worse(self, rng):
+        for seed in range(3):
+            g = random_connected_graph(40, 40, seed=seed)
+            labels = np.random.default_rng(seed).integers(0, 4, size=g.n)
+            refined = fm_refine(g, labels, max_size=g.n, rng=rng)
+            assert cut_weight(g, refined) <= cut_weight(g, labels)
+
+
+class TestMultilevelU:
+    def test_respects_bound(self, rng):
+        g = random_connected_graph(80, 70, seed=5)
+        for U in (8, 16):
+            labels = multilevel_partition_U(g, U, rng)
+            p = Partition(g, labels)
+            assert p.max_cell_size() <= U
+
+    def test_barbell(self, rng):
+        g = barbell(10)
+        labels = multilevel_partition_U(g, 10, rng)
+        p = Partition(g, labels)
+        assert p.max_cell_size() <= 10
+        assert p.cost <= 3  # should find a near-bridge cut
+
+
+class TestMultilevelK:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_k_cells_balanced(self, road_small, k):
+        labels = multilevel_partition_k(road_small, k, 0.03, np.random.default_rng(k))
+        p = Partition(road_small, labels)
+        assert p.num_cells <= k
+        bound = int(1.03 * -(-road_small.n // k))
+        assert p.max_cell_size() <= bound
+
+
+class TestInertialFlow:
+    def test_bisect_two_sides(self, walls_grid):
+        mask = inertial_bisect(walls_grid, rng=np.random.default_rng(0))
+        assert 0 < mask.sum() < walls_grid.n
+
+    def test_bisect_finds_wall(self):
+        from repro.synthetic import grid_with_walls
+
+        g = grid_with_walls(10, 30, wall_cols=[14], gap_rows=[5])
+        mask = inertial_bisect(g, balance=0.3, rng=np.random.default_rng(0))
+        cut = cut_weight(g, mask.astype(np.int64))
+        assert cut <= 3  # the planted wall gap (1 edge) or close to it
+
+    def test_requires_coords(self):
+        g = cycle_graph(6)
+        with pytest.raises(ValueError):
+            inertial_bisect(g)
+
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_partition_k_cells(self, walls_grid, k):
+        labels = inertial_flow_partition(walls_grid, k, rng=np.random.default_rng(1))
+        p = Partition(walls_grid, labels)
+        assert p.num_cells == k
+
+
+class TestRegionGrowing:
+    def test_respects_bound(self, road_small):
+        labels = region_growing_partition(road_small, 50, np.random.default_rng(0))
+        p = Partition(road_small, labels)
+        assert p.max_cell_size() <= 50
+
+    def test_cells_connected(self, road_small):
+        labels = region_growing_partition(road_small, 50, np.random.default_rng(1))
+        p = Partition(road_small, labels)
+        assert p.all_cells_connected()
+
+    def test_oversized_vertex_rejected(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(2, [0], [1], sizes=[9, 1])
+        with pytest.raises(ValueError):
+            region_growing_partition(g, 5, np.random.default_rng(0))
+
+    def test_punch_beats_region_growing(self, road_small):
+        """The headline claim at small scale: PUNCH finds cheaper cuts."""
+        from repro import PunchConfig, run_punch
+
+        U = 60
+        rg = Partition(road_small, region_growing_partition(road_small, U, np.random.default_rng(0)))
+        punch = run_punch(road_small, U, PunchConfig(seed=0))
+        assert punch.cost < rg.cost

@@ -1,0 +1,154 @@
+"""Integration tests for the top-level PUNCH driver and Partition API."""
+
+import numpy as np
+import pytest
+
+from repro import Partition, PunchConfig, run_punch
+from repro.core.config import AssemblyConfig, FilterConfig
+
+from .conftest import barbell, make_graph, random_connected_graph
+
+
+class TestPartition:
+    def test_cost_and_cells(self, walls_grid):
+        labels = np.zeros(walls_grid.n, dtype=np.int64)
+        labels[walls_grid.n // 2 :] = 1
+        p = Partition(walls_grid, labels)
+        assert p.num_cells == 2
+        assert p.cost > 0
+        assert p.cell_sizes.sum() == walls_grid.n
+
+    def test_labels_densified(self):
+        g = make_graph(3, [(0, 1), (1, 2)])
+        p = Partition(g, np.asarray([5, 5, 9]))
+        assert p.num_cells == 2
+        assert p.labels.max() == 1
+
+    def test_respects_bound(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        p = Partition(g, np.asarray([0, 0, 1, 1]))
+        assert p.respects_bound(2)
+        assert not p.respects_bound(1)
+
+    def test_imbalance(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        p = Partition(g, np.asarray([0, 0, 0, 1]))
+        assert p.imbalance(k=2) == pytest.approx(0.5)
+
+    def test_connected_cells(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        ok = Partition(g, np.asarray([0, 0, 1, 1]))
+        assert ok.all_cells_connected()
+        bad = Partition(g, np.asarray([0, 1, 0, 1]))
+        assert not bad.all_cells_connected()
+
+    def test_validate(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        p = Partition(g, np.asarray([0, 0, 1, 1]))
+        p.validate(U=2)
+        with pytest.raises(AssertionError):
+            p.validate(U=1)
+
+    def test_wrong_length_rejected(self):
+        g = make_graph(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            Partition(g, np.asarray([0, 1]))
+
+
+class TestRunPunch:
+    def test_road_network_end_to_end(self, road_small):
+        res = run_punch(road_small, 80, PunchConfig(seed=1))
+        res.partition.validate(U=80)
+        assert res.num_cells >= res.lower_bound_cells
+        assert res.partition.all_cells_connected()
+        assert res.cost > 0
+
+    def test_barbell_optimal(self):
+        g = barbell(20)
+        res = run_punch(g, 20, PunchConfig(seed=0))
+        assert res.cost == 1.0
+        assert res.num_cells == 2
+
+    def test_disconnected_input(self):
+        # two separate cycles
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        edges += [(5 + i, 5 + (i + 1) % 5) for i in range(5)]
+        g = make_graph(10, edges)
+        res = run_punch(g, 5, PunchConfig(seed=0))
+        res.partition.validate(U=5)
+        # no cell spans both components
+        assert res.partition.labels[0] != res.partition.labels[5]
+        assert res.cost == 0.0
+
+    def test_singleton_components(self):
+        g = make_graph(3, [(0, 1)])
+        res = run_punch(g, 2, PunchConfig(seed=0))
+        res.partition.validate(U=2)
+
+    def test_U_too_small_rejected(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(2, [0], [1], sizes=[3, 1])
+        with pytest.raises(ValueError):
+            run_punch(g, 2)
+
+    def test_whole_graph_fits_single_cell(self):
+        g = barbell(4)
+        res = run_punch(g, 100, PunchConfig(seed=0))
+        assert res.num_cells == 1
+        assert res.cost == 0.0
+
+    def test_result_timings(self, road_small):
+        res = run_punch(road_small, 60, PunchConfig(seed=2))
+        assert res.time_total == pytest.approx(
+            res.time_tiny + res.time_natural + res.time_assembly
+        )
+        assert res.num_fragments == res.filter_result.fragment_graph.n
+
+    def test_seed_reproducibility(self, road_small):
+        r1 = run_punch(road_small, 60, PunchConfig(seed=9))
+        r2 = run_punch(road_small, 60, PunchConfig(seed=9))
+        assert r1.cost == r2.cost
+        assert np.array_equal(r1.partition.labels, r2.partition.labels)
+
+    def test_multistart_config(self, road_small):
+        cfg = PunchConfig(assembly=AssemblyConfig(multistart=2, phi=4), seed=3)
+        res = run_punch(road_small, 100, cfg)
+        res.partition.validate(U=100)
+
+    def test_summary_string(self, road_small):
+        res = run_punch(road_small, 60, PunchConfig(seed=4))
+        s = res.summary()
+        assert "U=60" in s and "cells=" in s
+
+
+class TestConfigValidation:
+    def test_filter_config_alpha(self):
+        with pytest.raises(ValueError):
+            FilterConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            FilterConfig(alpha=0)
+
+    def test_filter_config_f(self):
+        with pytest.raises(ValueError):
+            FilterConfig(f=1.0)
+
+    def test_filter_config_coverage(self):
+        with pytest.raises(ValueError):
+            FilterConfig(coverage=0)
+
+    def test_assembly_config_variant(self):
+        with pytest.raises(ValueError):
+            AssemblyConfig(local_search="L9")
+
+    def test_assembly_config_phi(self):
+        with pytest.raises(ValueError):
+            AssemblyConfig(phi=0)
+
+    def test_assembly_config_perturbations(self):
+        with pytest.raises(ValueError):
+            AssemblyConfig(p0=1.0, p1=2.0, p2=3.0)
+
+    def test_with_seed(self):
+        cfg = PunchConfig().with_seed(42)
+        assert cfg.seed == 42

@@ -1,0 +1,59 @@
+"""Unit tests for result objects (PunchResult / BalancedResult)."""
+
+import numpy as np
+import pytest
+
+from repro import PunchConfig, run_punch, run_balanced_punch
+from repro.core.config import BalancedConfig
+from repro.core.result import BalancedResult
+from repro.core.partition import Partition
+
+from .conftest import make_graph
+
+
+class TestPunchResult:
+    @pytest.fixture(scope="class")
+    def result(self, road_small=None):
+        from repro.synthetic import road_network
+
+        g = road_network(n_target=700, n_cities=5, seed=1)
+        return run_punch(g, 100, PunchConfig(seed=0))
+
+    def test_lower_bound(self, result):
+        g = result.partition.graph
+        assert result.lower_bound_cells == -(-g.total_size() // result.U)
+        assert result.num_cells >= result.lower_bound_cells
+
+    def test_num_fragments(self, result):
+        assert result.num_fragments == result.filter_result.fragment_graph.n
+
+    def test_time_total(self, result):
+        assert result.time_total == pytest.approx(
+            result.time_tiny + result.time_natural + result.time_assembly
+        )
+
+    def test_cost_property(self, result):
+        assert result.cost == result.partition.cost
+
+
+class TestBalancedResult:
+    def test_feasibility_logic(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        p = Partition(g, np.asarray([0, 0, 1, 1]))
+        res = BalancedResult(partition=p, k=2, epsilon=0.0, U_star=2, time_total=0.1)
+        assert res.feasible()
+        res_bad = BalancedResult(partition=p, k=1, epsilon=0.0, U_star=2, time_total=0.1)
+        assert not res_bad.feasible()
+        res_bad2 = BalancedResult(partition=p, k=2, epsilon=0.0, U_star=1, time_total=0.1)
+        assert not res_bad2.feasible()
+
+    def test_attempt_accounting(self):
+        from repro.synthetic import road_network
+
+        g = road_network(n_target=600, n_cities=4, seed=2)
+        cfg = BalancedConfig(
+            starts_numerator=4, rebalance_attempts=3, phi_unbalanced=8, phi_rebalance=4
+        )
+        res = run_balanced_punch(g, 4, 0.05, cfg, np.random.default_rng(0))
+        assert res.attempts >= 1
+        assert res.failed_rebalances <= res.attempts

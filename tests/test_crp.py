@@ -1,0 +1,134 @@
+"""Tests for the CRP overlay: exactness and search-space behavior."""
+
+import numpy as np
+import pytest
+
+from repro import PunchConfig, run_punch
+from repro.core import Partition
+from repro.crp import build_overlay, crp_query, dijkstra
+
+from .conftest import make_graph, random_connected_graph
+
+
+class TestDijkstra:
+    def test_path_distances(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        dist, settled = dijkstra(g, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        assert settled == 4
+
+    def test_early_termination(self):
+        g = make_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        dist, settled = dijkstra(g, 0, targets=[1])
+        assert settled <= 3
+
+    def test_weighted(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(3, [0, 1, 0], [1, 2, 2], weights=[1.0, 1.0, 5.0])
+        dist, _ = dijkstra(g, 0)
+        assert dist[2] == 2.0  # via vertex 1, not the direct heavy edge
+
+    def test_vertex_mask(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        mask = np.asarray([True, True, True, False])
+        dist, _ = dijkstra(g, 0, vertex_mask=mask)
+        assert 3 not in dist
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from .conftest import to_networkx
+
+        g = random_connected_graph(40, 40, seed=5)
+        dist, _ = dijkstra(g, 0)
+        expected = nx.single_source_dijkstra_path_length(to_networkx(g), 0)
+        assert dist == pytest.approx(expected)
+
+
+class TestOverlay:
+    def _setup(self, seed=0):
+        from repro.synthetic import road_network
+
+        g = road_network(n_target=600, n_cities=5, seed=seed)
+        res = run_punch(g, 80, PunchConfig(seed=seed))
+        return g, res.partition
+
+    def test_boundary_vertices_are_cut_endpoints(self):
+        g, p = self._setup()
+        ov = build_overlay(p)
+        expected = set()
+        for e in p.cut_edges:
+            a, b = g.edge_endpoints(int(e))
+            expected.add(a)
+            expected.add(b)
+        assert set(ov.adj) == expected
+        assert ov.cut_edges == len(p.cut_edges)
+
+    def test_clique_weights_are_in_cell_distances(self):
+        g, p = self._setup()
+        ov = build_overlay(p)
+        labels = p.labels
+        # check a few clique edges against masked Dijkstra
+        checked = 0
+        for cell, bverts in ov.boundary_of_cell.items():
+            if len(bverts) < 2:
+                continue
+            s = bverts[0]
+            mask = labels == cell
+            dist, _ = dijkstra(g, s, vertex_mask=mask)
+            for u, w in ov.adj[s]:
+                if int(labels[u]) == cell and u in dist:
+                    assert w == pytest.approx(dist[u])
+                    checked += 1
+            if checked > 10:
+                break
+        assert checked > 0
+
+    def test_query_exactness(self):
+        """CRP distances equal plain Dijkstra distances — the overlay is
+        an exact preprocessing scheme."""
+        g, p = self._setup(seed=3)
+        ov = build_overlay(p)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            s, t = rng.choice(g.n, size=2, replace=False)
+            truth, _ = dijkstra(g, int(s), targets=[int(t)])
+            d, _ = crp_query(ov, int(s), int(t))
+            assert d == pytest.approx(truth.get(int(t), float("inf")))
+
+    def test_query_search_space_smaller(self):
+        g, p = self._setup(seed=4)
+        ov = build_overlay(p)
+        rng = np.random.default_rng(1)
+        base, crp = 0, 0
+        for _ in range(15):
+            s, t = rng.choice(g.n, size=2, replace=False)
+            _, n1 = dijkstra(g, int(s), targets=[int(t)])
+            _, n2 = crp_query(ov, int(s), int(t))
+            base += n1
+            crp += n2
+        assert crp < base  # the whole point of the partition
+
+    def test_same_cell_query(self):
+        g, p = self._setup(seed=5)
+        ov = build_overlay(p)
+        members = np.flatnonzero(p.labels == 0)
+        if len(members) >= 2:
+            s, t = int(members[0]), int(members[-1])
+            truth, _ = dijkstra(g, s, targets=[t])
+            d, _ = crp_query(ov, s, t)
+            assert d == pytest.approx(truth[t])
+
+    def test_better_partition_smaller_overlay(self):
+        """PUNCH's smaller cut gives a smaller overlay than region growing."""
+        from repro.baselines import region_growing_partition
+        from repro.synthetic import road_network
+
+        g = road_network(n_target=900, n_cities=6, seed=9)
+        punch = run_punch(g, 100, PunchConfig(seed=0)).partition
+        rg = Partition(g, region_growing_partition(g, 100, np.random.default_rng(0)))
+        ov_punch = build_overlay(punch)
+        ov_rg = build_overlay(rg)
+        assert ov_punch.num_boundary_vertices < ov_rg.num_boundary_vertices
+        assert ov_punch.clique_edges < ov_rg.clique_edges

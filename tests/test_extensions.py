@@ -1,0 +1,59 @@
+"""Tests for extensions: the Buffoon-style hybrid and the ASCII map."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_map import ascii_partition_map
+from repro.baselines.buffoon import buffoon_partition_U, buffoon_partition_k
+from repro.core import Partition
+
+
+class TestBuffoonHybrid:
+    def test_U_mode_respects_bound(self, road_small):
+        labels = buffoon_partition_U(road_small, 80, np.random.default_rng(0))
+        p = Partition(road_small, labels)
+        assert p.max_cell_size() <= 80
+        assert p.num_cells >= -(-road_small.n // 80)
+
+    def test_U_mode_competitive_with_raw_multilevel(self, road_small):
+        from repro.baselines import multilevel_partition_U
+
+        hybrid = Partition(
+            road_small, buffoon_partition_U(road_small, 80, np.random.default_rng(1))
+        )
+        raw = Partition(
+            road_small, multilevel_partition_U(road_small, 80, np.random.default_rng(1))
+        )
+        # filtering first should help (or at least not catastrophically hurt)
+        assert hybrid.cost <= raw.cost * 1.5
+
+    def test_k_mode_feasible(self, road_small):
+        k = 4
+        labels = buffoon_partition_k(road_small, k, 0.05, np.random.default_rng(2))
+        p = Partition(road_small, labels)
+        assert p.num_cells <= k
+        bound = int(1.05 * -(-road_small.n // k))
+        assert p.max_cell_size() <= bound
+
+
+class TestAsciiMap:
+    def test_renders_grid(self, walls_grid):
+        labels = np.zeros(walls_grid.n, dtype=np.int64)
+        labels[walls_grid.n // 2 :] = 1
+        art = ascii_partition_map(walls_grid, labels, width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+        assert "0" in art and "1" in art
+
+    def test_requires_coords(self):
+        from .conftest import cycle_graph
+
+        g = cycle_graph(5)
+        with pytest.raises(ValueError):
+            ascii_partition_map(g, np.zeros(5))
+
+    def test_many_cells_cycle_glyphs(self, walls_grid):
+        labels = np.arange(walls_grid.n) % 80
+        art = ascii_partition_map(walls_grid, labels, width=30, height=8)
+        assert len(art.splitlines()) == 8

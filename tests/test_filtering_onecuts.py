@@ -1,0 +1,91 @@
+"""Unit tests for tiny-cut pass 1 (block-cut-tree subtree contraction)."""
+
+import numpy as np
+
+from repro.filtering import one_cut_labels
+from repro.graph import contract, cut_weight
+
+from .conftest import barbell, complete_graph, cycle_graph, make_graph, path_graph
+
+
+def apply_pass(g, U, tau=5):
+    labels, stats = one_cut_labels(g, U, tau=tau)
+    cg, dense = contract(g, labels)
+    return cg, dense, stats
+
+
+class TestOneCutLabels:
+    def test_barbell_contracts_hanging_clique(self):
+        g = barbell(4, bridge_len=1)  # cliques {0..3}, {4..7}, bridge 0-4
+        cg, _, stats = apply_pass(g, U=4, tau=0)
+        # the non-root clique minus its articulation hangs below it
+        assert stats.subtrees_contracted >= 1
+        assert cg.n < g.n
+
+    def test_no_articulation_no_contraction(self):
+        g = complete_graph(5)
+        cg, _, stats = apply_pass(g, U=5)
+        assert cg.n == 5
+        assert stats.subtrees_contracted == 0
+
+    def test_cycle_untouched(self):
+        g = cycle_graph(6)
+        cg, _, stats = apply_pass(g, U=6)
+        assert cg.n == 6
+
+    def test_size_bound_respected(self):
+        # hanging path of length 10 off a triangle; U=4 allows only part
+        edges = [(0, 1), (1, 2), (2, 0)] + [(2 + i, 3 + i) for i in range(10)]
+        g = make_graph(13, edges)
+        for U in (2, 4, 8, 16):
+            cg, dense, _ = apply_pass(g, U)
+            assert int(cg.vsize.max()) <= max(U, 1) + 0 or cg.vsize.max() <= U
+            # stronger: every contracted group fits in U unless singleton
+            sizes = np.bincount(dense)
+            grp_size = np.bincount(dense, weights=g.vsize)
+            assert all(s <= U for s, c in zip(grp_size, sizes) if c > 1)
+
+    def test_tau_merge_into_articulation(self):
+        # tiny leaf (size 1) hanging off a cycle vertex: with tau >= 1 the
+        # leaf merges into its articulation vertex
+        g = make_graph(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)])
+        labels, stats = one_cut_labels(g, U=3, tau=1)
+        assert stats.tau_merges == 1
+        assert labels[4] == labels[0]
+
+    def test_tau_zero_disables_merge(self):
+        g = make_graph(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)])
+        labels, stats = one_cut_labels(g, U=3, tau=0)
+        assert stats.tau_merges == 0
+        assert labels[4] != labels[0]
+
+    def test_tau_merge_respects_U(self):
+        # two leaves off vertex 0 of a triangle; U=2 lets only one merge
+        g = make_graph(5, [(0, 1), (1, 2), (2, 0), (0, 3), (0, 4)])
+        labels, stats = one_cut_labels(g, U=2, tau=5)
+        merged = int(labels[3] == labels[0]) + int(labels[4] == labels[0])
+        assert merged == 1
+
+    def test_cost_preserved_under_optimal_projection(self):
+        """Contracting a subtree cannot hide cut weight: the contracted graph
+        cut between any two groups equals the original weight."""
+        g = barbell(3, bridge_len=3)
+        labels, _ = one_cut_labels(g, U=10, tau=0)
+        cg, dense = contract(g, labels)
+        # bipartition of the contracted graph projects to same cost
+        if cg.n >= 2:
+            half = np.zeros(cg.n, dtype=np.int64)
+            half[: cg.n // 2] = 1
+            assert cut_weight(cg, half) == cut_weight(g, half[dense])
+
+    def test_path_collapses_heavily(self):
+        g = path_graph(8)
+        cg, _, _ = apply_pass(g, U=8, tau=0)
+        # every subtree hanging off the root block fits in U, so only the
+        # root block's own vertices plus the two merged sides can remain
+        assert cg.n <= 4
+
+    def test_stats_vertices_removed(self):
+        g = barbell(4, bridge_len=1)
+        _, _, stats = apply_pass(g, U=4, tau=0)
+        assert stats.vertices_removed > 0

@@ -1,0 +1,135 @@
+"""Integration tests for the filtering pipeline (tiny cuts + natural cuts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FilterConfig
+from repro.filtering import (
+    FragmentStats,
+    fragment_labels,
+    run_filtering,
+    run_tiny_cuts,
+    split_oversized,
+)
+from repro.graph import ContractionChain
+from repro.synthetic import grid_with_walls, road_network, two_blobs
+
+from .conftest import cycle_graph, make_graph, random_connected_graph
+
+
+class TestRunTinyCuts:
+    def test_road_network_shrinks(self, road_small):
+        chain = ContractionChain(road_small)
+        stats = run_tiny_cuts(chain, U=100)
+        assert stats.n_after_pass3 < stats.n_before
+        chain.current.check()
+
+    def test_mapping_consistent(self, road_small):
+        chain = ContractionChain(road_small)
+        run_tiny_cuts(chain, U=100)
+        sizes = np.bincount(chain.map, minlength=chain.current.n)
+        assert np.array_equal(sizes, chain.current.vsize)
+
+    def test_passes_sequence_recorded(self, road_small):
+        chain = ContractionChain(road_small)
+        stats = run_tiny_cuts(chain, U=50)
+        assert stats.n_before >= stats.n_after_pass1 >= stats.n_after_pass2
+        assert stats.n_after_pass2 >= stats.n_after_pass3
+
+
+class TestFragmentLabels:
+    def test_no_cuts_single_fragment(self):
+        g = cycle_graph(6)
+        labels, stats = fragment_labels(g, np.asarray([], dtype=np.int64), U=10)
+        assert stats.fragments == 1
+
+    def test_cut_edges_split(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        mid = [e for e in range(g.m) if set(g.edge_endpoints(e)) == {1, 2}]
+        labels, stats = fragment_labels(g, np.asarray(mid), U=10)
+        assert stats.fragments == 2
+
+    def test_oversized_guard(self):
+        g = cycle_graph(10)
+        labels, stats = fragment_labels(g, np.asarray([], dtype=np.int64), U=4)
+        sizes = np.bincount(labels, weights=g.vsize)
+        assert sizes.max() <= 4
+        assert stats.oversized_split == 1
+
+
+class TestSplitOversized:
+    def test_chunks_connected(self):
+        g = random_connected_graph(30, 15, seed=2)
+        labels = np.zeros(g.n, dtype=np.int64)
+        new_labels, n_split = split_oversized(g, labels, U=7)
+        assert n_split == 1
+        sizes = np.bincount(new_labels, weights=g.vsize)
+        assert sizes[sizes > 0].max() <= 7
+        # every chunk is connected
+        from repro.graph import induced_subgraph, is_connected
+
+        for grp in np.unique(new_labels):
+            members = np.flatnonzero(new_labels == grp)
+            sub, _, _ = induced_subgraph(g, members)
+            assert is_connected(sub)
+
+    def test_noop_when_fits(self):
+        g = cycle_graph(5)
+        labels = np.zeros(g.n, dtype=np.int64)
+        new_labels, n_split = split_oversized(g, labels, U=5)
+        assert n_split == 0
+        assert np.array_equal(new_labels, labels)
+
+
+class TestRunFiltering:
+    def test_fragments_respect_U(self, road_small):
+        for U in (16, 64, 256):
+            res = run_filtering(road_small, U, rng=np.random.default_rng(U))
+            assert int(res.fragment_graph.vsize.max()) <= U
+
+    def test_reduction_grows_with_U(self, road_small):
+        res_small = run_filtering(road_small, 16, rng=np.random.default_rng(1))
+        res_large = run_filtering(road_small, 256, rng=np.random.default_rng(1))
+        assert res_large.fragment_graph.n < res_small.fragment_graph.n
+
+    def test_map_projects_back(self, road_small):
+        res = run_filtering(road_small, 64, rng=np.random.default_rng(5))
+        assert len(res.map) == road_small.n
+        assert res.map.max() == res.fragment_graph.n - 1
+        sizes = np.bincount(res.map)
+        assert np.array_equal(sizes, res.fragment_graph.vsize)
+
+    def test_without_tiny_cuts(self, road_small):
+        cfg = FilterConfig(detect_tiny_cuts=False)
+        res = run_filtering(road_small, 64, cfg, rng=np.random.default_rng(2))
+        assert res.tiny_stats is None
+        assert int(res.fragment_graph.vsize.max()) <= 64
+
+    def test_without_natural_cuts(self, road_small):
+        cfg = FilterConfig(detect_natural_cuts=False)
+        res = run_filtering(road_small, 64, cfg, rng=np.random.default_rng(2))
+        assert res.natural_stats is None
+        assert int(res.fragment_graph.vsize.max()) <= 64
+
+    def test_planted_cut_preserved(self):
+        """Fragment boundaries include the planted wall gaps."""
+        g = grid_with_walls(10, 40, wall_cols=[19], gap_rows=[5])
+        res = run_filtering(g, 150, rng=np.random.default_rng(0))
+        # the two sides of the wall end up in different fragments
+        left = res.map[5 * 40 + 0]
+        right = res.map[5 * 40 + 39]
+        assert left != right
+
+    def test_invalid_U_rejected(self, road_small):
+        with pytest.raises(ValueError):
+            run_filtering(road_small, 0)
+
+    def test_timings_recorded(self, road_small):
+        res = run_filtering(road_small, 64, rng=np.random.default_rng(3))
+        assert res.time_tiny >= 0
+        assert res.time_natural > 0
+
+    def test_blob_bridge_is_fragment_boundary(self):
+        gb, _ = two_blobs(100, bridge_len=1, seed=9)
+        res = run_filtering(gb, 110, rng=np.random.default_rng(4))
+        assert res.map[0] != res.map[100] or res.fragment_graph.n == 1

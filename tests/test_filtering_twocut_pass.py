@@ -1,0 +1,93 @@
+"""Unit tests for tiny-cut pass 3 (2-cut component contraction)."""
+
+import numpy as np
+
+from repro.filtering import two_cut_pass_labels
+from repro.filtering.twocut_pass import class_components_bounded
+from repro.graph import contract, two_cut_classes
+
+from .conftest import cycle_graph, make_graph, random_connected_graph
+
+
+class TestClassComponentsBounded:
+    def test_cycle_components(self):
+        g = cycle_graph(6)
+        classes = two_cut_classes(g)
+        assert len(classes) == 1
+        # removing ALL cycle edges leaves 6 singleton components
+        comps = class_components_bounded(g, classes[0], U=6)
+        assert len(comps) == 6
+        assert all(len(c) == 1 for c in comps)
+
+    def test_two_blobs_on_cycle(self):
+        # two triangles joined by two disjoint paths (a "cycle of blobs");
+        # the inter-blob class {(0,3), (2,6), (6,5)} separates the triangles
+        edges = [
+            (0, 1), (1, 2), (2, 0),          # triangle A
+            (3, 4), (4, 5), (5, 3),          # triangle B
+            (0, 3),                          # path 1
+            (2, 6), (6, 5),                  # path 2 via vertex 6
+        ]
+        g = make_graph(7, edges)
+        classes = two_cut_classes(g)
+        assert len(classes) == 3  # one per triangle apex + the blob cycle
+        by_size = {len(c): c for c in classes}
+        comps = class_components_bounded(g, by_size[3], U=7)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 3, 3]  # vertex 6, triangle A, triangle B
+
+    def test_oversized_component_abandoned(self):
+        g = cycle_graph(12)
+        classes = two_cut_classes(g)
+        # pick just two edges of the class: they split the cycle in two arcs
+        cls = np.asarray(sorted(classes[0].tolist())[:2])
+        comps = class_components_bounded(g, cls, U=3)
+        # both arcs have size >= 4 unless the two edges are adjacent; with
+        # U=3 at most one tiny arc survives
+        assert all(int(g.vsize[c].sum()) <= 3 for c in comps)
+
+
+class TestTwoCutPassLabels:
+    def test_small_side_contracted(self):
+        # a square with a pendant triangle attached by two edges
+        edges = [
+            (0, 1), (1, 2), (2, 3), (3, 0),  # square
+            (1, 4), (4, 5), (5, 2),          # path creating a 2-cut class
+        ]
+        g = make_graph(6, edges)
+        # the class {(0,1), (0,3), (2,3)} cuts off {1, 2, 4, 5} (size 4)
+        labels, stats = two_cut_pass_labels(g, U=4, rng=np.random.default_rng(0))
+        cg, dense = contract(g, labels)
+        assert stats.classes >= 1
+        assert cg.n < g.n
+
+    def test_U_bound_never_violated(self):
+        for seed in range(5):
+            g = random_connected_graph(40, 10, seed=seed)
+            for U in (2, 5, 10):
+                labels, _ = two_cut_pass_labels(g, U, rng=np.random.default_rng(seed))
+                _, dense = contract(g, labels)
+                sizes = np.bincount(dense, weights=g.vsize)
+                counts = np.bincount(dense)
+                assert all(s <= U for s, c in zip(sizes, counts) if c > 1)
+
+    def test_no_two_cuts_noop(self):
+        from .conftest import complete_graph
+
+        g = complete_graph(6)
+        labels, stats = two_cut_pass_labels(g, U=6)
+        assert stats.classes == 0
+        assert len(np.unique(labels)) == g.n
+
+    def test_cycle_fully_contracted(self):
+        g = cycle_graph(5)
+        labels, stats = two_cut_pass_labels(g, U=5)
+        # each cycle vertex is its own component of size 1 <= U; contracting
+        # singletons is a no-op, so nothing changes structurally
+        assert stats.classes == 1
+
+    def test_contraction_preserves_total_size(self):
+        g = random_connected_graph(30, 8, seed=11)
+        labels, _ = two_cut_pass_labels(g, U=10)
+        cg, _ = contract(g, labels)
+        assert cg.total_size() == g.total_size()

@@ -1,0 +1,53 @@
+"""Unit tests for the flow-network arc representation."""
+
+import numpy as np
+
+from repro.flow import FlowNetwork
+
+from .conftest import make_graph
+
+
+class TestFlowNetwork:
+    def test_arc_pairing(self):
+        g = make_graph(3, [(0, 1), (1, 2)])
+        net = FlowNetwork(g.n, g.edge_u, g.edge_v, g.ewgt)
+        assert net.n_arcs == 4
+        # arc 2e goes u->v, arc 2e+1 goes v->u
+        for e in range(g.m):
+            u, v = g.edge_endpoints(e)
+            assert net.arc_to[2 * e] == v
+            assert net.arc_to[2 * e + 1] == u
+            assert net.rev(2 * e) == 2 * e + 1
+            assert net.edge_of_arc(2 * e) == e
+            assert net.edge_of_arc(2 * e + 1) == e
+
+    def test_both_directions_capacity(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(2, [0], [1], weights=[7.0])
+        net = FlowNetwork(g.n, g.edge_u, g.edge_v, g.ewgt)
+        assert net.arc_cap.tolist() == [7.0, 7.0]
+
+    def test_arcs_of_partition(self):
+        g = make_graph(4, [(0, 1), (0, 2), (0, 3)])
+        net = FlowNetwork(g.n, g.edge_u, g.edge_v, g.ewgt)
+        # vertex 0 has three outgoing arcs; leaves have one each
+        assert len(net.arcs_of(0)) == 3
+        for v in (1, 2, 3):
+            assert len(net.arcs_of(v)) == 1
+        # arcs_of covers all arcs exactly once
+        all_arcs = np.concatenate([net.arcs_of(v) for v in range(4)])
+        assert sorted(all_arcs.tolist()) == list(range(net.n_arcs))
+
+    def test_arc_tails_consistent(self):
+        g = make_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        net = FlowNetwork(g.n, g.edge_u, g.edge_v, g.ewgt)
+        for v in range(g.n):
+            for a in net.arcs_of(v):
+                # the reverse arc must point back to v
+                assert net.arc_to[int(a) ^ 1] == v
+
+    def test_empty_network(self):
+        net = FlowNetwork(3, np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64), np.asarray([]))
+        assert net.n_arcs == 0
+        assert len(net.arcs_of(0)) == 0

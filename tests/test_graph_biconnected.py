@@ -1,0 +1,120 @@
+"""Unit tests for biconnected components and the block-cut forest."""
+
+import numpy as np
+import pytest
+
+from repro.graph.biconnected import biconnected_components, build_block_cut_forest
+
+from .conftest import (
+    barbell,
+    complete_graph,
+    cycle_graph,
+    make_graph,
+    path_graph,
+    random_connected_graph,
+    to_networkx,
+)
+
+
+class TestBiconnectedComponents:
+    def test_path_all_bridges(self):
+        g = path_graph(5)
+        ncomp, edge_comp, art = biconnected_components(g)
+        assert ncomp == 4  # each edge its own component
+        assert len(np.unique(edge_comp)) == 4
+        assert np.flatnonzero(art).tolist() == [1, 2, 3]
+
+    def test_cycle_single_component(self):
+        g = cycle_graph(6)
+        ncomp, edge_comp, art = biconnected_components(g)
+        assert ncomp == 1
+        assert not art.any()
+
+    def test_barbell_articulations(self):
+        g = barbell(4, bridge_len=1)
+        ncomp, edge_comp, art = biconnected_components(g)
+        assert ncomp == 3  # clique, bridge, clique
+        assert np.flatnonzero(art).tolist() == [0, 4]
+
+    def test_complete_graph(self):
+        ncomp, _, art = biconnected_components(complete_graph(5))
+        assert ncomp == 1
+        assert not art.any()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = random_connected_graph(60, 25, seed=seed)
+        ncomp, edge_comp, art = biconnected_components(g)
+        G = to_networkx(g)
+        nx_comps = list(nx.biconnected_component_edges(G))
+        assert ncomp == len(nx_comps)
+        assert set(np.flatnonzero(art).tolist()) == set(nx.articulation_points(G))
+        # edge partition matches (as sets of frozensets of endpoints)
+        ours = {}
+        for e in range(g.m):
+            ours.setdefault(int(edge_comp[e]), set()).add(frozenset(g.edge_endpoints(e)))
+        ours_sets = {frozenset(s) for s in ours.values()}
+        nx_sets = {
+            frozenset(frozenset(e) for e in comp) for comp in nx_comps
+        }
+        assert ours_sets == nx_sets
+
+    def test_disconnected(self):
+        g = make_graph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)])
+        ncomp, edge_comp, art = biconnected_components(g)
+        assert ncomp == 3  # triangle + two bridges
+        assert np.flatnonzero(art).tolist() == [4]
+
+
+class TestBlockCutForest:
+    def test_subtree_sizes_path(self):
+        g = path_graph(5)
+        forest = build_block_cut_forest(g)
+        root = forest.roots[0]
+        assert forest.subtree_size[root] == 5
+        assert sorted(forest.subtree_vertices(root).tolist()) == [0, 1, 2, 3, 4]
+
+    def test_hanging_subtree_barbell(self):
+        g = barbell(4, bridge_len=1)
+        forest = build_block_cut_forest(g)
+        root = forest.roots[0]
+        # the non-root clique hangs below an articulation vertex; its block's
+        # subtree must contain exactly the 3 non-articulation clique vertices
+        sizes = sorted(
+            int(forest.subtree_size[b])
+            for b in range(forest.n_blocks)
+            if forest.node_parent[b] >= 0
+        )
+        assert 3 in sizes
+
+    def test_every_vertex_attributed(self):
+        g = random_connected_graph(40, 15, seed=1)
+        forest = build_block_cut_forest(g)
+        assert (forest.node_of_vertex >= 0).all()
+        root = forest.roots[0]
+        assert len(forest.subtree_vertices(root)) == g.n
+
+    def test_isolated_vertices_get_blocks(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(3, [0], [1])
+        forest = build_block_cut_forest(g)
+        # vertex 2 is isolated; it must be attributed somewhere
+        assert (forest.node_of_vertex >= 0).all()
+        assert len(forest.roots) == 2
+
+    def test_subtree_sizes_consistent(self):
+        g = random_connected_graph(50, 20, seed=9)
+        forest = build_block_cut_forest(g)
+        for node in range(len(forest.node_parent)):
+            verts = forest.subtree_vertices(node)
+            assert forest.subtree_size[node] == int(g.vsize[verts].sum())
+
+    def test_root_is_largest_block(self):
+        g = barbell(6, bridge_len=2)
+        forest = build_block_cut_forest(g)
+        root = forest.roots[0]
+        # the root block covers one of the 6-cliques (size 6 incl. its art)
+        assert forest.subtree_size[root] == g.n

@@ -1,0 +1,133 @@
+"""Unit tests for graph construction (repro.graph.builder / Graph)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, build_graph
+from repro.graph.builder import build_csr, merge_parallel_edges
+
+from .conftest import complete_graph, make_graph, path_graph
+
+
+class TestMergeParallelEdges:
+    def test_self_loops_dropped(self):
+        u, v, w = merge_parallel_edges(3, [0, 1, 2], [0, 2, 2], [1.0, 2.0, 3.0])
+        assert len(u) == 1
+        assert (int(u[0]), int(v[0])) == (1, 2)
+
+    def test_parallel_edges_merge_weights(self):
+        u, v, w = merge_parallel_edges(2, [0, 1, 0], [1, 0, 1], [1.0, 2.0, 4.0])
+        assert len(u) == 1
+        assert w[0] == 7.0
+
+    def test_canonical_orientation(self):
+        u, v, _ = merge_parallel_edges(5, [4, 3], [0, 1], [1, 1])
+        assert np.all(u < v)
+
+    def test_empty(self):
+        u, v, w = merge_parallel_edges(3, [], [], [])
+        assert len(u) == len(v) == len(w) == 0
+
+
+class TestBuildCSR:
+    def test_degrees(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        assert g.degrees.tolist() == [3, 2, 3, 2]
+
+    def test_half_edges_count(self):
+        g = make_graph(4, [(0, 1), (1, 2)])
+        assert len(g.adjncy) == 2 * g.m
+
+    def test_eid_roundtrip(self):
+        g = make_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        for v in range(g.n):
+            nbrs, eids = g.incident(v)
+            for nb, e in zip(nbrs, eids):
+                a, b = g.edge_endpoints(int(e))
+                assert {a, b} == {v, int(nb)}
+
+    def test_isolated_vertices(self):
+        xadj, adjncy, eid = build_csr(4, np.asarray([0]), np.asarray([1]))
+        assert xadj.tolist() == [0, 1, 2, 2, 2]
+
+
+class TestBuildGraph:
+    def test_basic(self):
+        g = make_graph(3, [(0, 1), (1, 2)])
+        g.check()
+        assert g.n == 3 and g.m == 2
+        assert g.total_size() == 3
+        assert g.total_weight() == 2.0
+
+    def test_default_unit_sizes_and_weights(self):
+        g = make_graph(2, [(0, 1)])
+        assert g.vsize.tolist() == [1, 1]
+        assert g.ewgt.tolist() == [1.0]
+
+    def test_custom_weights_and_sizes(self):
+        g = build_graph(2, [0], [1], weights=[2.5], sizes=[3, 4])
+        assert g.ewgt[0] == 2.5
+        assert g.total_size() == 7
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_graph(2, [0], [5])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            build_graph(2, [0], [1], weights=[-1.0])
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            build_graph(2, [0], [1], sizes=[0, 1])
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            build_graph(3, [0, 1], [1, 2], weights=[1.0])
+
+    def test_empty_graph(self):
+        g = build_graph(0, [], [])
+        g.check()
+        assert g.n == 0 and g.m == 0
+
+    def test_edgeless_graph(self):
+        g = build_graph(5, [], [])
+        g.check()
+        assert g.n == 5 and g.m == 0
+        assert g.degrees.tolist() == [0] * 5
+
+    def test_from_edges_classmethod(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (1, 2)])
+        assert g.m == 2  # parallel merged
+
+    def test_coords_carried(self):
+        coords = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        g = build_graph(2, [0], [1], coords=coords)
+        assert np.allclose(g.coords, coords)
+
+    def test_neighbors(self):
+        g = path_graph(4)
+        assert sorted(int(x) for x in g.neighbors(1)) == [0, 2]
+        assert g.degree(0) == 1
+
+    def test_complete_graph_edge_count(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        g.check()
+
+    def test_edges_iterator(self):
+        g = make_graph(3, [(0, 1), (1, 2)])
+        edges = list(g.edges())
+        assert edges == [(0, 1, 1.0), (1, 2, 1.0)]
+
+    def test_half_edge_weights(self):
+        g = build_graph(3, [0, 1], [1, 2], weights=[2.0, 3.0])
+        hw = g.half_edge_weights()
+        assert len(hw) == 4
+        assert sorted(hw.tolist()) == [2.0, 2.0, 3.0, 3.0]
+
+    def test_check_rejects_corrupted_sizes(self):
+        g = make_graph(2, [(0, 1)])
+        g.vsize = np.asarray([1, -1], dtype=np.int64)
+        with pytest.raises(AssertionError):
+            g.check()

@@ -1,0 +1,89 @@
+"""Unit tests for connected components and masked components."""
+
+import numpy as np
+
+from repro.graph import (
+    connected_components,
+    connected_components_masked,
+    is_connected,
+    largest_component,
+)
+from repro.graph.builder import build_graph
+
+from .conftest import cycle_graph, make_graph, path_graph, random_connected_graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        assert connected_components(cycle_graph(6))[0] == 1
+
+    def test_two_components(self):
+        g = make_graph(5, [(0, 1), (2, 3), (3, 4)])
+        k, labels = connected_components(g)
+        assert k == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3] == labels[4]
+        assert labels[0] != labels[2]
+
+    def test_edgeless(self):
+        g = build_graph(4, [], [])
+        k, labels = connected_components(g)
+        assert k == 4
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        g = build_graph(0, [], [])
+        assert connected_components(g)[0] == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from .conftest import to_networkx
+
+        g = random_connected_graph(50, 10, seed=2)
+        # delete some edges to disconnect: rebuild a subgraph with half edges
+        keep = np.arange(g.m) % 2 == 0
+        g2 = build_graph(g.n, g.edge_u[keep], g.edge_v[keep])
+        k, _ = connected_components(g2)
+        assert k == nx.number_connected_components(to_networkx(g2))
+
+
+class TestMaskedComponents:
+    def test_removing_bridge_splits(self):
+        g = path_graph(4)
+        # removing middle edge (1,2)
+        mid = [e for e in range(g.m) if set(g.edge_endpoints(e)) == {1, 2}]
+        k, labels = connected_components_masked(g, np.asarray(mid))
+        assert k == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+
+    def test_removing_nothing(self):
+        g = cycle_graph(5)
+        k, _ = connected_components_masked(g, np.asarray([], dtype=np.int64))
+        assert k == 1
+
+    def test_removing_all(self):
+        g = cycle_graph(5)
+        k, _ = connected_components_masked(g, np.arange(g.m))
+        assert k == 5
+
+
+class TestConnectivityHelpers:
+    def test_is_connected(self):
+        assert is_connected(cycle_graph(4))
+        g = make_graph(4, [(0, 1), (2, 3)])
+        assert not is_connected(g)
+
+    def test_trivial_graphs_connected(self):
+        assert is_connected(build_graph(0, [], []))
+        assert is_connected(build_graph(1, [], []))
+
+    def test_largest_component_by_size(self):
+        # component {0,1} has vertex sizes 10+10, {2,3,4} has 1+1+1
+        g = build_graph(5, [0, 2, 3], [1, 3, 4], sizes=[10, 10, 1, 1, 1])
+        assert sorted(largest_component(g).tolist()) == [0, 1]
+
+    def test_largest_component_connected_graph(self):
+        g = cycle_graph(5)
+        assert sorted(largest_component(g).tolist()) == [0, 1, 2, 3, 4]

@@ -1,0 +1,120 @@
+"""Unit tests for contraction and mapping composition."""
+
+import numpy as np
+import pytest
+
+from repro.graph import ContractionChain, compose_labels, contract, cut_weight
+from repro.graph.contraction import normalize_labels
+
+from .conftest import cycle_graph, make_graph, random_connected_graph
+
+
+class TestNormalizeLabels:
+    def test_dense_output(self):
+        labels, k = normalize_labels(np.asarray([5, 5, 9, 2]))
+        assert k == 3
+        assert labels.max() == 2
+        assert labels[0] == labels[1]
+
+    def test_identity(self):
+        labels, k = normalize_labels(np.arange(4))
+        assert k == 4
+        assert labels.tolist() == [0, 1, 2, 3]
+
+
+class TestContract:
+    def test_sizes_summed(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        cg, _ = contract(g, [0, 0, 1, 1])
+        assert cg.n == 2
+        assert sorted(cg.vsize.tolist()) == [2, 2]
+
+    def test_internal_edges_vanish(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        cg, _ = contract(g, [0, 0, 1, 1])
+        assert cg.m == 1  # only the 1-2 edge survives
+
+    def test_parallel_edges_merge(self):
+        g = cycle_graph(4)
+        cg, _ = contract(g, [0, 0, 1, 1])
+        assert cg.m == 1
+        assert cg.ewgt[0] == 2.0  # two cycle edges between the halves
+
+    def test_contract_to_single_vertex(self):
+        g = cycle_graph(5)
+        cg, _ = contract(g, [0] * 5)
+        assert cg.n == 1 and cg.m == 0
+        assert cg.vsize[0] == 5
+
+    def test_total_size_invariant(self):
+        g = random_connected_graph(40, 30, seed=3)
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 7, size=g.n)
+        cg, _ = contract(g, labels)
+        assert cg.total_size() == g.total_size()
+        cg.check()
+
+    def test_cut_weight_preserved(self):
+        """Contraction preserves the weight between label groups."""
+        g = random_connected_graph(30, 25, seed=5)
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 5, size=g.n)
+        cg, dense = contract(g, labels)
+        assert cg.total_weight() == pytest.approx(cut_weight(g, labels))
+
+    def test_labels_length_checked(self):
+        g = cycle_graph(3)
+        with pytest.raises(ValueError):
+            contract(g, [0, 1])
+
+    def test_coords_mean(self):
+        coords = np.asarray([[0.0, 0.0], [2.0, 0.0], [5.0, 5.0]])
+        g = make_graph(3, [(0, 1), (1, 2)], coords=coords)
+        cg, _ = contract(g, [0, 0, 1])
+        # group {0,1} centroid at (1, 0)
+        i = int(np.argmin(cg.coords[:, 1]))
+        assert np.allclose(cg.coords[i], [1.0, 0.0])
+
+    def test_coords_dropped_when_requested(self):
+        coords = np.zeros((3, 2))
+        g = make_graph(3, [(0, 1), (1, 2)], coords=coords)
+        cg, _ = contract(g, [0, 0, 1], coords=None)
+        assert cg.coords is None
+
+
+class TestComposeLabels:
+    def test_composition(self):
+        first = np.asarray([0, 0, 1, 2])
+        second = np.asarray([1, 1, 0])
+        assert compose_labels(first, second).tolist() == [1, 1, 1, 0]
+
+
+class TestContractionChain:
+    def test_two_step_chain(self):
+        g = make_graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        chain = ContractionChain(g)
+        chain.apply([0, 0, 1, 1, 2, 2])
+        assert chain.current.n == 3
+        chain.apply([0, 0, 1])
+        assert chain.current.n == 2
+        # original vertices 0..3 -> final 0; 4,5 -> final 1
+        assert chain.map.tolist() == [0, 0, 0, 0, 1, 1]
+
+    def test_project(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        chain = ContractionChain(g)
+        chain.apply([0, 0, 1, 1])
+        cells = np.asarray([7, 9])
+        assert chain.project(cells).tolist() == [7, 7, 9, 9]
+
+    def test_project_validates_length(self):
+        g = make_graph(3, [(0, 1), (1, 2)])
+        chain = ContractionChain(g)
+        with pytest.raises(ValueError):
+            chain.project(np.asarray([0, 1]))
+
+    def test_identity_chain(self):
+        g = cycle_graph(4)
+        chain = ContractionChain(g)
+        assert chain.map.tolist() == [0, 1, 2, 3]
+        assert chain.current is g

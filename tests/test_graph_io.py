@@ -1,0 +1,68 @@
+"""Unit tests for DIMACS and METIS graph file I/O."""
+
+import numpy as np
+
+from repro.graph.io import read_dimacs_gr, read_metis, write_dimacs_gr, write_metis
+
+from .conftest import make_graph, random_connected_graph
+
+
+class TestDimacsGr:
+    def test_roundtrip(self, tmp_path):
+        g = random_connected_graph(20, 10, seed=0)
+        path = tmp_path / "g.gr"
+        write_dimacs_gr(g, path)
+        g2 = read_dimacs_gr(path)
+        assert g2.n == g.n and g2.m == g.m
+        assert {frozenset(e[:2]) for e in g.edges()} == {
+            frozenset(e[:2]) for e in g2.edges()
+        }
+
+    def test_read_merges_arc_directions(self, tmp_path):
+        path = tmp_path / "two_arcs.gr"
+        path.write_text("c comment\np sp 2 2\na 1 2 7\na 2 1 7\n")
+        g = read_dimacs_gr(path)
+        assert g.n == 2 and g.m == 1
+
+    def test_gzip_roundtrip(self, tmp_path):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        path = tmp_path / "g.gr.gz"
+        write_dimacs_gr(g, path)
+        g2 = read_dimacs_gr(path)
+        assert g2.m == 3
+
+
+class TestMetis:
+    def test_roundtrip_weights_and_sizes(self, tmp_path):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(
+            4, [0, 1, 2, 0], [1, 2, 3, 3], weights=[2, 3, 4, 5], sizes=[1, 2, 3, 4]
+        )
+        path = tmp_path / "g.graph"
+        write_metis(g, path)
+        g2 = read_metis(path)
+        assert g2.n == g.n and g2.m == g.m
+        assert g2.vsize.tolist() == g.vsize.tolist()
+        ours = {(e[0], e[1]): e[2] for e in g.edges()}
+        theirs = {(e[0], e[1]): e[2] for e in g2.edges()}
+        assert ours == theirs
+
+    def test_plain_format(self, tmp_path):
+        path = tmp_path / "p.graph"
+        path.write_text("3 2\n2\n1 3\n2\n")
+        g = read_metis(path)
+        assert g.n == 3 and g.m == 2
+        assert g.vsize.tolist() == [1, 1, 1]
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.graph"
+        path.write_text("% header comment\n3 2\n2\n1 3\n2\n")
+        g = read_metis(path)
+        assert g.n == 3
+
+    def test_vertex_weight_format(self, tmp_path):
+        path = tmp_path / "w.graph"
+        path.write_text("3 2 010\n5 2\n7 1 3\n9 2\n")
+        g = read_metis(path)
+        assert g.vsize.tolist() == [5, 7, 9]

@@ -1,0 +1,62 @@
+"""Unit tests for induced subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import induced_subgraph
+from repro.graph.builder import build_graph
+
+from .conftest import complete_graph, make_graph, random_connected_graph
+
+
+class TestInducedSubgraph:
+    def test_basic(self):
+        g = make_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, mapping, eids = induced_subgraph(g, np.asarray([1, 2, 3]))
+        assert sub.n == 3
+        assert sub.m == 2
+        assert mapping.tolist() == [1, 2, 3]
+
+    def test_edge_ids_align(self):
+        g = random_connected_graph(20, 15, seed=4)
+        verts = np.asarray([0, 3, 5, 7, 9, 11, 13])
+        sub, mapping, eids = induced_subgraph(g, verts)
+        for i in range(sub.m):
+            a, b = sub.edge_endpoints(i)
+            ga, gb = int(mapping[a]), int(mapping[b])
+            oa, ob = g.edge_endpoints(int(eids[i]))
+            assert {ga, gb} == {oa, ob}
+            assert sub.ewgt[i] == g.ewgt[eids[i]]
+
+    def test_sizes_and_weights_carried(self):
+        g = build_graph(3, [0, 1], [1, 2], weights=[2.0, 3.0], sizes=[5, 6, 7])
+        sub, _, _ = induced_subgraph(g, np.asarray([1, 2]))
+        assert sub.vsize.tolist() == [6, 7]
+        assert sub.ewgt.tolist() == [3.0]
+
+    def test_coords_carried(self):
+        coords = np.asarray([[0.0, 0], [1, 1], [2, 2]])
+        g = make_graph(3, [(0, 1), (1, 2)], coords=coords)
+        sub, _, _ = induced_subgraph(g, np.asarray([0, 2]))
+        assert np.allclose(sub.coords, coords[[0, 2]])
+
+    def test_rejects_duplicates(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            induced_subgraph(g, np.asarray([0, 0, 1]))
+
+    def test_empty_vertex_set(self):
+        g = complete_graph(4)
+        sub, mapping, eids = induced_subgraph(g, np.asarray([], dtype=np.int64))
+        assert sub.n == 0 and sub.m == 0
+
+    def test_full_vertex_set_roundtrip(self):
+        g = random_connected_graph(15, 10, seed=1)
+        sub, mapping, eids = induced_subgraph(g, np.arange(g.n))
+        assert sub.n == g.n and sub.m == g.m
+        assert sub.total_weight() == g.total_weight()
+
+    def test_disconnected_selection(self):
+        g = make_graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        sub, _, _ = induced_subgraph(g, np.asarray([0, 1, 4, 5]))
+        assert sub.m == 2

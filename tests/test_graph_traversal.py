@@ -1,0 +1,105 @@
+"""Unit tests for bounded BFS regions (the natural-cut growth primitive)."""
+
+import numpy as np
+
+from repro.graph import BFSWorkspace, bfs_order, grow_bfs_region
+from repro.synthetic import grid_graph
+
+from .conftest import cycle_graph, make_graph, path_graph, star_graph
+
+
+class TestGrowBFSRegion:
+    def test_center_always_in_core(self):
+        g = path_graph(10)
+        ws = BFSWorkspace(g.n)
+        region = grow_bfs_region(g, ws, 5, max_size=4, core_size=1)
+        assert region.tree[0] == 5
+        assert region.core_count >= 1
+        assert 5 in region.core
+
+    def test_tree_size_reaches_bound(self):
+        g = grid_graph(10, 10)
+        ws = BFSWorkspace(g.n)
+        region = grow_bfs_region(g, ws, 0, max_size=30, core_size=3)
+        assert region.tree_size >= 30
+        assert region.tree_size == len(region.tree)  # unit sizes
+
+    def test_core_is_prefix(self):
+        g = grid_graph(8, 8)
+        ws = BFSWorkspace(g.n)
+        region = grow_bfs_region(g, ws, 27, max_size=40, core_size=8)
+        assert region.core_count <= len(region.tree)
+        # core = first core_count entries, all within distance of later ones
+        assert np.array_equal(region.core, region.tree[: region.core_count])
+
+    def test_ring_is_external_neighborhood(self):
+        g = grid_graph(10, 10)
+        ws = BFSWorkspace(g.n)
+        region = grow_bfs_region(g, ws, 55, max_size=20, core_size=4)
+        tree_set = set(region.tree.tolist())
+        ring_set = set(region.ring.tolist())
+        assert not (tree_set & ring_set)
+        for v in ring_set:
+            assert any(int(u) in tree_set for u in g.neighbors(v))
+        # completeness: every external neighbor of the tree is in the ring
+        for v in tree_set:
+            for u in g.neighbors(v):
+                if int(u) not in tree_set:
+                    assert int(u) in ring_set
+
+    def test_exhausted_component(self):
+        g = cycle_graph(6)
+        ws = BFSWorkspace(g.n)
+        region = grow_bfs_region(g, ws, 0, max_size=100, core_size=10)
+        assert region.exhausted
+        assert len(region.tree) == 6
+        assert len(region.ring) == 0
+
+    def test_workspace_reuse(self):
+        g = grid_graph(6, 6)
+        ws = BFSWorkspace(g.n)
+        r1 = grow_bfs_region(g, ws, 0, max_size=10, core_size=2)
+        r2 = grow_bfs_region(g, ws, 35, max_size=10, core_size=2)
+        # second traversal must not be polluted by the first's marks
+        assert 35 in r2.tree
+        assert r2.tree[0] == 35
+
+    def test_respects_vertex_sizes(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(4, [0, 1, 2], [1, 2, 3], sizes=[1, 5, 1, 1])
+        ws = BFSWorkspace(g.n)
+        region = grow_bfs_region(g, ws, 0, max_size=6, core_size=2)
+        # sizes 1 + 5 = 6 reaches the bound after two vertices
+        assert region.tree_size >= 6
+        assert len(region.tree) == 2
+
+    def test_star_center(self):
+        g = star_graph(8)
+        ws = BFSWorkspace(g.n)
+        region = grow_bfs_region(g, ws, 0, max_size=4, core_size=1)
+        assert region.tree_size >= 4
+        assert len(region.ring) > 0
+
+
+class TestBFSOrder:
+    def test_visits_component(self):
+        g = path_graph(5)
+        order = bfs_order(g, 2)
+        assert sorted(order.tolist()) == [0, 1, 2, 3, 4]
+        assert order[0] == 2
+
+    def test_only_component(self):
+        g = make_graph(5, [(0, 1), (2, 3), (3, 4)])
+        order = bfs_order(g, 0)
+        assert sorted(order.tolist()) == [0, 1]
+
+    def test_bfs_distance_monotone(self):
+        g = grid_graph(5, 5)
+        order = bfs_order(g, 12)
+        # manhattan distance from (2,2) must be nondecreasing along the order
+        def dist(v):
+            return abs(v // 5 - 2) + abs(v % 5 - 2)
+
+        d = [dist(int(v)) for v in order]
+        assert all(d[i] <= d[i + 1] for i in range(len(d) - 1))

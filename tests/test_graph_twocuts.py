@@ -1,0 +1,124 @@
+"""Unit tests for bridges and 2-cut classes via cycle-space sampling."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graph import bridges, connected_components_masked, two_cut_classes
+from repro.graph.twocuts import edge_cut_labels
+
+from .conftest import (
+    barbell,
+    complete_graph,
+    cycle_graph,
+    make_graph,
+    path_graph,
+    random_connected_graph,
+    to_networkx,
+)
+
+
+class TestBridges:
+    def test_path_all_bridges(self):
+        g = path_graph(6)
+        assert len(bridges(g)) == 5
+
+    def test_cycle_no_bridges(self):
+        assert len(bridges(cycle_graph(6))) == 0
+
+    def test_barbell_bridge(self):
+        g = barbell(4, bridge_len=1)
+        br = bridges(g)
+        assert len(br) == 1
+        assert set(g.edge_endpoints(int(br[0]))) == {0, 4}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = random_connected_graph(50, 18, seed=seed)
+        ours = {frozenset(g.edge_endpoints(int(e))) for e in bridges(g)}
+        theirs = {frozenset(e) for e in nx.bridges(to_networkx(g))}
+        assert ours == theirs
+
+
+def brute_force_two_cut_pairs(g):
+    """All pairs {e, f} of non-bridge edges whose removal disconnects G."""
+    from repro.graph import connected_components
+
+    base, _ = connected_components(g)
+    singles = set()
+    for e in range(g.m):
+        k, _ = connected_components_masked(g, np.asarray([e]))
+        if k > base:
+            singles.add(e)
+    pairs = set()
+    for e, f in itertools.combinations(range(g.m), 2):
+        if e in singles or f in singles:
+            continue
+        k, _ = connected_components_masked(g, np.asarray([e, f]))
+        if k > base:
+            pairs.add(frozenset((e, f)))
+    return pairs
+
+
+class TestTwoCutClasses:
+    def test_cycle_is_one_class(self):
+        g = cycle_graph(5)
+        classes = two_cut_classes(g)
+        assert len(classes) == 1
+        assert sorted(classes[0].tolist()) == list(range(5))
+
+    def test_complete_graph_no_two_cuts(self):
+        assert two_cut_classes(complete_graph(5)) == []
+
+    def test_path_no_classes(self):
+        # all edges are bridges -> excluded by the predicate
+        assert two_cut_classes(path_graph(5)) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        g = random_connected_graph(14, 5, seed=seed)
+        classes = two_cut_classes(g)
+        ours = set()
+        for cls in classes:
+            for e, f in itertools.combinations(cls.tolist(), 2):
+                ours.add(frozenset((e, f)))
+        assert ours == brute_force_two_cut_pairs(g)
+
+    def test_classes_are_disjoint(self):
+        g = random_connected_graph(30, 8, seed=3)
+        classes = two_cut_classes(g)
+        seen = set()
+        for cls in classes:
+            for e in cls.tolist():
+                assert e not in seen
+                seen.add(e)
+
+    def test_two_parallel_paths(self):
+        # two vertex-disjoint paths between a and b: every cross pair is a cut
+        g = make_graph(6, [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
+        classes = two_cut_classes(g)
+        assert len(classes) == 1
+        assert len(classes[0]) == 6
+
+
+class TestEdgeCutLabels:
+    def test_deterministic_given_rng(self):
+        g = random_connected_graph(20, 10, seed=0)
+        l1 = edge_cut_labels(g, np.random.default_rng(5))
+        l2 = edge_cut_labels(g, np.random.default_rng(5))
+        assert np.array_equal(l1, l2)
+
+    def test_tree_edges_of_tree_zero_iff_bridge(self):
+        g = path_graph(4)  # a tree: all edges bridges
+        labels = edge_cut_labels(g)
+        assert (labels == 0).all()
+
+    def test_disconnected_graph(self):
+        g = make_graph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)])
+        labels = edge_cut_labels(g)
+        # the two path edges are bridges (label 0); triangle edges are not
+        zeros = (labels == 0).sum()
+        assert zeros == 2

@@ -1,0 +1,40 @@
+"""Tests for validation helpers (cut weight / cut edges of labelings)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import cut_edges_of_labeling, cut_weight, validate_graph
+from repro.graph.validation import validate_labels
+
+from .conftest import cycle_graph, make_graph
+
+
+class TestCutHelpers:
+    def test_cut_edges(self):
+        g = cycle_graph(4)
+        edges = cut_edges_of_labeling(g, np.asarray([0, 0, 1, 1]))
+        assert len(edges) == 2
+
+    def test_cut_weight_weighted(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(3, [0, 1], [1, 2], weights=[2.0, 3.0])
+        assert cut_weight(g, np.asarray([0, 0, 1])) == 3.0
+        assert cut_weight(g, np.asarray([0, 1, 1])) == 2.0
+        assert cut_weight(g, np.asarray([0, 0, 0])) == 0.0
+
+    def test_all_separate(self):
+        g = cycle_graph(5)
+        assert cut_weight(g, np.arange(5)) == 5.0
+
+    def test_validate_labels(self):
+        g = cycle_graph(3)
+        validate_labels(g, np.asarray([0, 1, 2]))
+        with pytest.raises(ValueError):
+            validate_labels(g, np.asarray([0, 1]))
+        with pytest.raises(ValueError):
+            validate_labels(g, np.asarray([0, -1, 2]))
+
+    def test_validate_graph(self):
+        g = make_graph(3, [(0, 1), (1, 2)])
+        validate_graph(g)

@@ -1,0 +1,91 @@
+"""Tests for nested partitions and CRP metric customization."""
+
+import numpy as np
+import pytest
+
+from repro import PunchConfig, run_punch
+from repro.core.config import AssemblyConfig
+from repro.core.nested import run_nested_punch
+from repro.crp import build_overlay, crp_query, customize_overlay, dijkstra
+from repro.graph.graph import Graph
+
+
+FAST = PunchConfig(assembly=AssemblyConfig(phi=4), seed=0)
+
+
+class TestNestedPunch:
+    def test_nesting_property(self, road_small):
+        nested = run_nested_punch(road_small, [32, 128, 512], FAST)
+        assert len(nested.levels) == 3
+        nested.check_nesting()
+
+    def test_levels_respect_bounds(self, road_small):
+        nested = run_nested_punch(road_small, [32, 128, 512], FAST)
+        for U, p in zip(nested.U_values, nested.levels):
+            assert p.max_cell_size() <= U
+
+    def test_costs_decrease_with_level(self, road_small):
+        """Coarser levels cut fewer edges (their cut edges are a subset)."""
+        nested = run_nested_punch(road_small, [32, 128, 512], FAST)
+        costs = [p.cost for p in nested.levels]
+        assert costs == sorted(costs, reverse=True)
+        # stronger: coarse cut edges are a subset of fine cut edges
+        fine = set(nested.levels[0].cut_edges.tolist())
+        coarse = set(nested.levels[-1].cut_edges.tolist())
+        assert coarse <= fine
+
+    def test_unsorted_input_ok(self, road_small):
+        nested = run_nested_punch(road_small, [512, 32], FAST)
+        assert nested.U_values == [32, 512]
+
+    def test_empty_U_rejected(self, road_small):
+        with pytest.raises(ValueError):
+            run_nested_punch(road_small, [])
+
+    def test_cell_of(self, road_small):
+        nested = run_nested_punch(road_small, [64, 256], FAST)
+        for v in (0, road_small.n // 2):
+            assert nested.cell_of(v, 0) == nested.levels[0].labels[v]
+
+
+class TestCustomizeOverlay:
+    def _setup(self):
+        from repro.synthetic import road_network
+
+        g = road_network(n_target=500, n_cities=4, seed=8)
+        p = run_punch(g, 64, FAST).partition
+        return g, p, build_overlay(p)
+
+    def test_matches_rebuild_from_scratch(self):
+        g, p, overlay = self._setup()
+        rng = np.random.default_rng(0)
+        new_w = rng.integers(1, 10, size=g.m).astype(float)
+        fast = customize_overlay(overlay, new_w)
+        # reference: rebuild the overlay on a reweighted graph directly
+        from repro.core.partition import Partition
+
+        gw = Graph(g.xadj, g.adjncy, g.eid, g.edge_u, g.edge_v, g.vsize, new_w, coords=g.coords)
+        ref = build_overlay(Partition(gw, p.labels))
+        assert fast.num_boundary_vertices == ref.num_boundary_vertices
+        assert fast.clique_edges == ref.clique_edges
+        for v in fast.adj:
+            assert sorted(fast.adj[v]) == pytest.approx(sorted(ref.adj[v]))
+
+    def test_customized_queries_exact(self):
+        g, p, overlay = self._setup()
+        rng = np.random.default_rng(1)
+        new_w = rng.integers(1, 10, size=g.m).astype(float)
+        custom = customize_overlay(overlay, new_w)
+        gw = Graph(g.xadj, g.adjncy, g.eid, g.edge_u, g.edge_v, g.vsize, new_w, coords=g.coords)
+        for _ in range(10):
+            s, t = rng.choice(g.n, size=2, replace=False)
+            truth, _ = dijkstra(gw, int(s), targets=[int(t)])
+            d, _ = crp_query(custom, int(s), int(t))
+            assert d == pytest.approx(truth.get(int(t), float("inf")))
+
+    def test_validates_weights(self):
+        _, _, overlay = self._setup()
+        with pytest.raises(ValueError):
+            customize_overlay(overlay, np.ones(3))
+        with pytest.raises(ValueError):
+            customize_overlay(overlay, np.zeros(overlay.graph.m))

@@ -1,0 +1,89 @@
+"""Property-based tests: CRP overlay exactness and balanced invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import Partition
+from repro.crp import build_overlay, crp_query, dijkstra
+from repro.graph import build_graph
+
+
+@st.composite
+def weighted_connected_graphs(draw, max_n=25):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    u = list(range(1, n))
+    v = [int(rng.integers(0, i)) for i in range(1, n)]
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            u.append(int(a))
+            v.append(int(b))
+    w = rng.integers(1, 10, size=len(u)).astype(float)
+    return build_graph(n, np.asarray(u), np.asarray(v), weights=w)
+
+
+@given(weighted_connected_graphs(), st.integers(0, 9999))
+@settings(max_examples=30, deadline=None)
+def test_crp_exact_for_any_partition(g, seed):
+    """CRP distances are exact for EVERY partition, not just PUNCH's."""
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(1, min(g.n, 5) + 1))
+    labels = rng.integers(0, k, size=g.n)
+    p = Partition(g, labels)
+    overlay = build_overlay(p)
+    for _ in range(4):
+        s, t = rng.choice(g.n, size=2, replace=False)
+        truth, _ = dijkstra(g, int(s), targets=[int(t)])
+        d, _ = crp_query(overlay, int(s), int(t))
+        assert d == pytest.approx(truth.get(int(t), float("inf")))
+
+
+@given(weighted_connected_graphs(max_n=20), st.integers(2, 5), st.integers(0, 999))
+@settings(max_examples=15, deadline=None)
+def test_balanced_driver_invariants(g, k, seed):
+    from repro.balanced import run_balanced_punch
+    from repro.core.config import BalancedConfig
+
+    cfg = BalancedConfig(
+        starts_numerator=4,
+        rebalance_attempts=4,
+        phi_unbalanced=8,
+        phi_rebalance=4,
+        epsilon=0.5,  # generous so tiny adversarial graphs stay feasible
+    )
+    try:
+        res = run_balanced_punch(g, k, config=cfg, rng=np.random.default_rng(seed))
+    except RuntimeError:
+        return  # rebalancing legitimately failed; the driver said so
+    assert res.partition.num_cells <= k
+    assert res.partition.max_cell_size() <= res.U_star
+    assert res.partition.cell_sizes.sum() == g.total_size()
+
+
+@given(weighted_connected_graphs(max_n=22), st.integers(0, 999))
+@settings(max_examples=20, deadline=None)
+def test_pool_best_monotone(g, seed):
+    """Inserting into the elite pool never loses the best solution."""
+    from repro.assembly import ElitePool, Solution
+
+    rng = np.random.default_rng(seed)
+    pool = ElitePool(3)
+    best_seen = float("inf")
+    for _ in range(10):
+        labels = rng.integers(0, 4, size=g.n)
+        s = Solution.from_labels(g, labels)
+        entered_best = s.cost < best_seen
+        pool.add(s)
+        best_seen = min(best_seen, s.cost)
+        if entered_best:
+            # a strictly better solution always enters (some pool member has
+            # cost >= it, or the pool is not full)
+            assert pool.best.cost == best_seen
+    assert pool.best.cost == pytest.approx(
+        min(best_seen, min(x.cost for x in pool.solutions))
+    )

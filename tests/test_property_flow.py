@@ -1,0 +1,97 @@
+"""Property-based tests for max-flow / min-cut solvers."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import min_st_cut
+from repro.graph import build_graph
+
+
+@st.composite
+def flow_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    m = draw(st.integers(min_value=1, max_value=20))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != s))
+    return n, edges, s, t
+
+
+def brute_force_min_cut(g, s, t):
+    """Minimum over all 2^(n-2) s-t bipartitions (n <= 10)."""
+    rest = [v for v in range(g.n) if v not in (s, t)]
+    best = float("inf")
+    for bits in itertools.product([0, 1], repeat=len(rest)):
+        side = np.zeros(g.n, dtype=bool)
+        side[s] = True
+        for v, b in zip(rest, bits):
+            side[v] = bool(b)
+        w = float(g.ewgt[side[g.edge_u] != side[g.edge_v]].sum())
+        best = min(best, w)
+    return best
+
+
+@given(flow_instances())
+@settings(max_examples=80, deadline=None)
+def test_push_relabel_matches_brute_force(inst):
+    n, edges, s, t = inst
+    u = np.asarray([e[0] for e in edges])
+    v = np.asarray([e[1] for e in edges])
+    w = np.asarray([e[2] for e in edges], dtype=float)
+    g = build_graph(n, u, v, weights=w)
+    if g.m == 0:
+        return
+    res = min_st_cut(g.n, g.edge_u, g.edge_v, g.ewgt, s, t, solver="push_relabel")
+    assert res.value == pytest.approx(brute_force_min_cut(g, s, t))
+    # the reported side is a cut of exactly that weight
+    side = res.source_side
+    assert side[s] and not side[t]
+    assert float(g.ewgt[side[g.edge_u] != side[g.edge_v]].sum()) == pytest.approx(res.value)
+
+
+@given(flow_instances())
+@settings(max_examples=60, deadline=None)
+def test_all_solvers_agree(inst):
+    n, edges, s, t = inst
+    u = np.asarray([e[0] for e in edges])
+    v = np.asarray([e[1] for e in edges])
+    w = np.asarray([e[2] for e in edges], dtype=float)
+    g = build_graph(n, u, v, weights=w)
+    if g.m == 0:
+        return
+    values = [
+        min_st_cut(g.n, g.edge_u, g.edge_v, g.ewgt, s, t, solver=sv).value
+        for sv in ("push_relabel", "dinic", "edmonds_karp", "scipy")
+    ]
+    assert max(values) - min(values) < 1e-6
+
+
+@given(flow_instances())
+@settings(max_examples=60, deadline=None)
+def test_cut_edges_disconnect(inst):
+    """Removing the reported cut edges separates s from t."""
+    from repro.graph import connected_components_masked
+
+    n, edges, s, t = inst
+    u = np.asarray([e[0] for e in edges])
+    v = np.asarray([e[1] for e in edges])
+    g = build_graph(n, u, v)
+    if g.m == 0:
+        return
+    res = min_st_cut(g.n, g.edge_u, g.edge_v, g.ewgt, s, t, solver="dinic")
+    _, labels = connected_components_masked(g, res.cut_edges)
+    assert labels[s] != labels[t] or res.value == 0

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    build_graph,
+    connected_components,
+    contract,
+    cut_weight,
+    induced_subgraph,
+)
+
+# -- strategies ---------------------------------------------------------
+
+
+@st.composite
+def edge_lists(draw, max_n=20, max_m=40):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, edges
+
+
+@st.composite
+def graphs(draw, max_n=20, max_m=40):
+    n, edges = draw(edge_lists(max_n, max_m))
+    u = np.asarray([e[0] for e in edges], dtype=np.int64)
+    v = np.asarray([e[1] for e in edges], dtype=np.int64)
+    return build_graph(n, u, v)
+
+
+# -- properties ---------------------------------------------------------
+
+
+@given(edge_lists())
+@settings(max_examples=150, deadline=None)
+def test_builder_invariants(nedges):
+    n, edges = nedges
+    u = np.asarray([e[0] for e in edges], dtype=np.int64)
+    v = np.asarray([e[1] for e in edges], dtype=np.int64)
+    g = build_graph(n, u, v)
+    g.check()
+    # no self-loops, no parallels
+    assert len({(int(a), int(b)) for a, b in zip(g.edge_u, g.edge_v)}) == g.m
+    # merged weight equals the number of non-loop input copies
+    nonloop = sum(1 for a, b in edges if a != b)
+    assert g.ewgt.sum() == nonloop
+
+
+@given(graphs(), st.integers(min_value=1, max_value=6), st.randoms())
+@settings(max_examples=100, deadline=None)
+def test_contract_preserves_size_and_cut(g, groups, pyrng):
+    labels = np.asarray([pyrng.randrange(groups) for _ in range(g.n)])
+    cg, dense = contract(g, labels)
+    cg.check()
+    assert cg.total_size() == g.total_size()
+    assert cg.total_weight() == cut_weight(g, labels)
+    # projecting any partition of cg back keeps its cost
+    if cg.n:
+        sub_labels = np.asarray([pyrng.randrange(3) for _ in range(cg.n)])
+        assert cut_weight(cg, sub_labels) == cut_weight(g, sub_labels[dense])
+
+
+@given(graphs())
+@settings(max_examples=100, deadline=None)
+def test_components_partition_vertices(g):
+    k, labels = connected_components(g)
+    if g.n == 0:
+        assert k == 0
+        return
+    assert labels.min() >= 0 and labels.max() == k - 1
+    # no edge crosses components
+    if g.m:
+        assert (labels[g.edge_u] == labels[g.edge_v]).all()
+
+
+@given(graphs(), st.randoms())
+@settings(max_examples=80, deadline=None)
+def test_induced_subgraph_consistency(g, pyrng):
+    if g.n == 0:
+        return
+    verts = sorted({pyrng.randrange(g.n) for _ in range(pyrng.randrange(1, g.n + 1))})
+    sub, mapping, eids = induced_subgraph(g, np.asarray(verts))
+    sub.check()
+    assert sub.total_size() == int(g.vsize[verts].sum())
+    # every subgraph edge maps to an original edge with equal weight
+    for i in range(sub.m):
+        assert sub.ewgt[i] == g.ewgt[eids[i]]
+    # edge count equals edges of g with both ends inside
+    inside = set(verts)
+    expected = sum(
+        1 for e in range(g.m) if int(g.edge_u[e]) in inside and int(g.edge_v[e]) in inside
+    )
+    assert sub.m == expected
+
+
+@given(graphs(max_n=12, max_m=24))
+@settings(max_examples=60, deadline=None)
+def test_twocut_classes_really_disconnect(g):
+    """Every pair inside a reported class is a genuine 2-cut."""
+    import itertools
+
+    from repro.graph import connected_components_masked, two_cut_classes
+
+    base, _ = connected_components(g)
+    for cls in two_cut_classes(g):
+        for e, f in itertools.combinations(cls.tolist()[:4], 2):
+            k, _ = connected_components_masked(g, np.asarray([e, f]))
+            assert k > base
+
+
+@given(graphs(max_n=14, max_m=30), st.randoms())
+@settings(max_examples=60, deadline=None)
+def test_bridges_really_disconnect(g, pyrng):
+    from repro.graph import bridges, connected_components_masked
+
+    base, _ = connected_components(g)
+    for e in bridges(g).tolist():
+        k, _ = connected_components_masked(g, np.asarray([e]))
+        assert k == base + 1

@@ -1,0 +1,93 @@
+"""Property-based tests for filtering, assembly, and end-to-end PUNCH."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PunchConfig, run_punch
+from repro.assembly import adjacency_of_graph, greedy_assemble
+from repro.core.config import AssemblyConfig, FilterConfig
+from repro.filtering import run_filtering
+from repro.graph import build_graph
+
+
+@st.composite
+def connected_graphs(draw, max_n=30):
+    """Random tree + chords: always connected, road-like sparsity possible."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    u = list(range(1, n))
+    v = [int(rng.integers(0, i)) for i in range(1, n)]
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            u.append(int(a))
+            v.append(int(b))
+    return build_graph(n, np.asarray(u), np.asarray(v))
+
+
+@given(connected_graphs(), st.integers(min_value=2, max_value=12), st.integers(0, 999))
+@settings(max_examples=40, deadline=None)
+def test_filtering_invariants(g, U, seed):
+    res = run_filtering(g, U, rng=np.random.default_rng(seed))
+    frag = res.fragment_graph
+    frag.check()
+    # fragments respect the bound and tile the input
+    assert int(frag.vsize.max()) <= U
+    assert frag.total_size() == g.total_size()
+    assert len(res.map) == g.n
+    assert np.array_equal(np.bincount(res.map, minlength=frag.n), frag.vsize)
+
+
+@given(connected_graphs(), st.integers(min_value=2, max_value=10), st.integers(0, 999))
+@settings(max_examples=40, deadline=None)
+def test_greedy_invariants(g, U, seed):
+    rng = np.random.default_rng(seed)
+    labels = greedy_assemble(g.vsize, adjacency_of_graph(g), U, rng)
+    sizes = np.bincount(labels, weights=g.vsize, minlength=g.n)
+    assert sizes.max() <= U
+    # maximality: every cross-group edge joins groups that cannot merge
+    group_size = {}
+    for v, l in enumerate(labels):
+        group_size[int(l)] = group_size.get(int(l), 0) + int(g.vsize[v])
+    for e in range(g.m):
+        a, b = g.edge_endpoints(e)
+        la, lb = int(labels[a]), int(labels[b])
+        if la != lb:
+            assert group_size[la] + group_size[lb] > U
+
+
+@given(connected_graphs(max_n=24), st.integers(min_value=3, max_value=10), st.integers(0, 99))
+@settings(max_examples=25, deadline=None)
+def test_punch_end_to_end_invariants(g, U, seed):
+    cfg = PunchConfig(
+        filter=FilterConfig(coverage=1),
+        assembly=AssemblyConfig(phi=2),
+        seed=seed,
+    )
+    res = run_punch(g, U, cfg)
+    p = res.partition
+    p.validate(U=U)
+    assert p.cell_sizes.sum() == g.total_size()
+    assert p.num_cells >= res.lower_bound_cells
+    # cost equals the label-based cut weight
+    lu = p.labels[g.edge_u]
+    lv = p.labels[g.edge_v]
+    assert p.cost == float(g.ewgt[lu != lv].sum())
+
+
+@given(connected_graphs(max_n=20), st.integers(0, 99))
+@settings(max_examples=20, deadline=None)
+def test_local_search_never_worsens(g, seed):
+    from repro.assembly import PartitionState, greedy_labels_for_graph, local_search
+
+    rng = np.random.default_rng(seed)
+    U = max(2, g.n // 3)
+    labels = greedy_labels_for_graph(g, U, rng)
+    state = PartitionState(g, labels)
+    before = state.cost
+    local_search(state, U, phi_max=2, rng=rng)
+    state.check()
+    assert state.cost <= before + 1e-9

@@ -1,0 +1,73 @@
+"""Tests for the speculative (batched) local search and instance profiling."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import PartitionState, greedy_labels_for_graph, local_search
+
+from .conftest import barbell, random_connected_graph
+
+
+class TestBatchedLocalSearch:
+    @pytest.mark.parametrize("batch", [2, 4, 8])
+    def test_state_consistent(self, batch):
+        g = random_connected_graph(40, 35, seed=1)
+        rng = np.random.default_rng(batch)
+        labels = greedy_labels_for_graph(g, 8, rng)
+        state = PartitionState(g, labels)
+        local_search(state, U=8, phi_max=4, rng=rng, batch=batch)
+        state.check()
+
+    @pytest.mark.parametrize("batch", [2, 4])
+    def test_never_worsens(self, batch):
+        g = random_connected_graph(50, 45, seed=2)
+        rng = np.random.default_rng(0)
+        labels = greedy_labels_for_graph(g, 10, rng)
+        state = PartitionState(g, labels)
+        before = state.cost
+        local_search(state, U=10, phi_max=4, rng=rng, batch=batch)
+        assert state.cost <= before + 1e-9
+        assert state.cost == pytest.approx(state.recompute_cost())
+
+    def test_batch_improves_bad_partition(self):
+        g = barbell(6)
+        bad = np.asarray([0, 1] * 6)
+        state = PartitionState(g, bad)
+        before = state.cost
+        local_search(state, U=6, variant="L2", phi_max=8,
+                     rng=np.random.default_rng(0), batch=4)
+        assert state.cost < before
+
+    def test_batch_one_equals_sequential_distribution(self):
+        """batch=1 is exactly the sequential path."""
+        g = random_connected_graph(30, 25, seed=3)
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        l1 = greedy_labels_for_graph(g, 8, rng1)
+        l2 = greedy_labels_for_graph(g, 8, rng2)
+        s1 = PartitionState(g, l1)
+        s2 = PartitionState(g, l2)
+        local_search(s1, U=8, phi_max=2, rng=rng1, batch=1)
+        local_search(s2, U=8, phi_max=2, rng=rng2, batch=1)
+        assert s1.cost == s2.cost
+
+
+class TestInstanceReport:
+    def test_profile_fields(self):
+        from repro.analysis.instance_report import profile_instance
+        from repro.synthetic import road_network
+
+        g = road_network(n_target=800, n_cities=5, seed=3)
+        prof = profile_instance("test", g)
+        assert prof.n == g.n
+        assert 2.0 <= prof.avg_degree <= 4.0
+        assert prof.components == 1
+        assert prof.bridge_fraction > 0  # road networks have bridges
+        assert 0 < prof.degree2_fraction < 1
+
+    def test_report_renders(self):
+        from repro.analysis.instance_report import instances_report
+
+        out = instances_report(names=["mini_like"])
+        assert "mini_like" in out
+        assert "bridges" in out

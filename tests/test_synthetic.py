@@ -1,0 +1,136 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import bridges, is_connected
+from repro.synthetic import (
+    INSTANCE_PARAMS,
+    RoadNetParams,
+    delaunay_graph,
+    grid_graph,
+    grid_with_walls,
+    instance,
+    instance_names,
+    road_network,
+    two_blobs,
+)
+
+
+class TestGrid:
+    def test_grid_structure(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert is_connected(g)
+        g.check()
+
+    def test_grid_coords(self):
+        g = grid_graph(3, 3)
+        assert g.coords is not None
+        assert g.coords.shape == (9, 2)
+
+    def test_walls_reduce_edges(self):
+        base = grid_graph(6, 12)
+        walled = grid_with_walls(6, 12, wall_cols=[5])
+        assert walled.m < base.m
+        assert is_connected(walled)
+
+    def test_wall_gap_is_min_cut(self):
+        g = grid_with_walls(8, 16, wall_cols=[7], gap_rows=[3])
+        # removing the single gap edge disconnects left from right
+        gap = [
+            e
+            for e in range(g.m)
+            if {int(g.edge_u[e]) % 16, int(g.edge_v[e]) % 16} == {7, 8}
+        ]
+        assert len(gap) == 1
+        assert gap[0] in bridges(g).tolist()
+
+    def test_two_blobs(self):
+        g, cut = two_blobs(50, bridge_len=2, seed=0)
+        assert is_connected(g)
+        assert cut == 1
+        g.check()
+
+
+class TestRoadNetwork:
+    def test_connected_and_sized(self):
+        g = road_network(n_target=2000, seed=0)
+        assert is_connected(g)
+        assert 0.7 * 2000 <= g.n <= 1.3 * 2000
+        g.check()
+
+    def test_road_like_degree(self):
+        g = road_network(n_target=3000, seed=1)
+        avg_deg = 2 * g.m / g.n
+        assert 2.0 <= avg_deg <= 4.0  # paper: road networks avg degree < 3
+
+    def test_deterministic(self):
+        g1 = road_network(n_target=1000, seed=7)
+        g2 = road_network(n_target=1000, seed=7)
+        assert g1.n == g2.n and g1.m == g2.m
+        assert np.array_equal(g1.edge_u, g2.edge_u)
+        assert np.array_equal(g1.edge_v, g2.edge_v)
+
+    def test_seed_changes_graph(self):
+        g1 = road_network(n_target=1000, seed=1)
+        g2 = road_network(n_target=1000, seed=2)
+        assert g1.m != g2.m or not np.array_equal(g1.edge_u, g2.edge_u)
+
+    def test_has_coords(self):
+        g = road_network(n_target=800, seed=3)
+        assert g.coords is not None
+        assert g.coords.shape == (g.n, 2)
+
+    def test_has_natural_cuts(self):
+        """Road networks must have bridges/small cuts for PUNCH to exploit."""
+        g = road_network(n_target=3000, seed=4)
+        assert len(bridges(g)) > 0
+
+    def test_params_and_kwargs_exclusive(self):
+        with pytest.raises(ValueError):
+            road_network(RoadNetParams(), n_target=100)
+
+    def test_rivers_create_sparse_city_cuts(self):
+        # big single city with a river: interior min cut small
+        g = road_network(n_target=2000, n_cities=2, river_min_city=100, seed=5)
+        assert is_connected(g)
+
+
+class TestDelaunay:
+    def test_connected(self):
+        g = delaunay_graph(400, seed=0)
+        assert is_connected(g)
+        g.check()
+
+    def test_planarish_density(self):
+        g = delaunay_graph(500, seed=1)
+        assert g.m < 3 * g.n  # Delaunay bound
+
+    def test_deterministic(self):
+        g1 = delaunay_graph(300, seed=5)
+        g2 = delaunay_graph(300, seed=5)
+        assert g1.m == g2.m
+
+
+class TestInstances:
+    def test_known_names(self):
+        names = instance_names()
+        assert "europe_like" in names
+        assert "usa_like" in names
+        assert len(names) == len(INSTANCE_PARAMS)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            instance("mars_like")
+
+    def test_memoized(self):
+        a = instance("mini_like")
+        b = instance("mini_like")
+        assert a is b
+
+    def test_mini_instance_valid(self):
+        g = instance("mini_like")
+        assert is_connected(g)
+        g.check()
