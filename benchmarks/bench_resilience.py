@@ -1,0 +1,94 @@
+"""Bench: overhead of the fault-tolerant runtime on a clean (no-fault) run.
+
+The resilience layer (PR "robustness") promises that when no timeout, fault
+plan, or budget is configured, :func:`repro.runtime.resilient_map` stays
+within 5% of the plain ``map_subproblems`` path the seed used.  This bench
+measures that directly on the natural-cut solve workload of ``small_like``
+(the per-subproblem min-cut solves dominate, so the bookkeeping must be
+noise), and records end-to-end ``run_punch`` wall time with the default
+inert :class:`~repro.core.config.RuntimeConfig` for the record.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import numpy as np
+
+from repro import PunchConfig, run_punch
+from repro.analysis import render_table
+from repro.filtering.executor import map_subproblems
+from repro.filtering.natural_cuts import _solve_one, collect_cut_problems
+from repro.runtime import resilient_map
+from repro.synthetic.instances import instance
+
+from .conftest import QUICK, write_result
+
+NAME = "mini_like" if QUICK else "small_like"
+U = 128
+ROUNDS = 3 if QUICK else 7
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Minimum wall time over ``rounds`` runs — the standard noise-robust
+    estimator for a deterministic workload."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _run():
+    g = instance(NAME)
+    problems = collect_cut_problems(g, U, 1.0, 10.0, np.random.default_rng(0))
+    solve = functools.partial(_solve_one, solver="push_relabel")
+
+    plain = lambda: map_subproblems(solve, problems, "serial")
+    resilient = lambda: resilient_map(solve, problems, "serial")
+    # interleave a warm-up of each before timing
+    plain(), resilient()
+    t_plain = _best_of(plain, ROUNDS)
+    t_resilient = _best_of(resilient, ROUNDS)
+
+    t0 = time.perf_counter()
+    result = run_punch(g, U, PunchConfig(seed=0))
+    t_punch = time.perf_counter() - t0
+
+    return {
+        "n_problems": len(problems),
+        "t_plain": t_plain,
+        "t_resilient": t_resilient,
+        "overhead": t_resilient / t_plain - 1.0,
+        "t_punch": t_punch,
+        "punch_cost": result.partition.cost,
+        "punch_report": result.run_report(),
+    }
+
+
+def test_resilience_overhead(benchmark):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    out = render_table(
+        ["path", "seconds", "vs plain"],
+        [
+            ("map_subproblems (seed path)", f"{r['t_plain']:.4f}", "1.000x"),
+            (
+                "resilient_map (no faults)",
+                f"{r['t_resilient']:.4f}",
+                f"{r['t_resilient'] / r['t_plain']:.3f}x",
+            ),
+        ],
+        title=(
+            f"Resilient executor overhead on {NAME} "
+            f"({r['n_problems']} cut subproblems, U={U}; "
+            f"full run_punch {r['t_punch']:.2f}s, cost {r['punch_cost']:g})"
+        ),
+    )
+    write_result("resilience_overhead", out)
+
+    # the acceptance bound: < 5% no-fault overhead
+    assert r["overhead"] < 0.05, f"no-fault overhead {r['overhead']:.1%} >= 5%"
+    # a clean run must report zero incidents
+    assert r["punch_report"] == {}

@@ -6,7 +6,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import PunchConfig, run_punch
+from repro import PunchConfig, RuntimeConfig, run_punch
 from repro.synthetic import road_network
 
 
@@ -38,6 +38,22 @@ def main() -> None:
     labels = p.labels
     sizes = np.bincount(labels)
     print(f"\ncell sizes: min {sizes.min()}, median {int(np.median(sizes))}, max {sizes.max()}")
+
+    # Resilient runs (docs/RESILIENCE.md): give the run a time budget and a
+    # checkpoint file; on expiry you get the best-so-far *valid* partition
+    # instead of an exception, and a killed run resumes from the checkpoint
+    # (same flags on the CLI: --time-budget / --checkpoint / --resume).
+    cfg = PunchConfig(
+        seed=0,
+        runtime=RuntimeConfig(time_budget=2.0, max_retries=2),
+    )
+    budgeted = run_punch(g, U, cfg)
+    report = budgeted.run_report()  # every retry/skip/fallback, {} when clean
+    print(
+        f"\nbudgeted rerun (2s): {budgeted.partition.num_cells} cells, "
+        f"cost {budgeted.partition.cost:g}, "
+        f"report {report if report else 'clean'}"
+    )
 
 
 if __name__ == "__main__":

@@ -25,9 +25,11 @@ from .core import (
     Partition,
     PunchConfig,
     PunchResult,
+    RuntimeConfig,
     run_punch,
 )
 from .graph import Graph, build_graph
+from .runtime import FaultPlan, RunBudget
 
 __version__ = "1.0.0"
 
@@ -43,6 +45,9 @@ __all__ = [
     "FilterConfig",
     "AssemblyConfig",
     "BalancedConfig",
+    "RuntimeConfig",
+    "RunBudget",
+    "FaultPlan",
     "__version__",
 ]
 

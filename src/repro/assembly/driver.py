@@ -7,8 +7,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.config import AssemblyConfig
+from ..core.config import AssemblyConfig, RuntimeConfig
 from ..graph.graph import Graph
+from ..runtime.budget import RunBudget
 from .multistart import MultistartStats, multistart
 from .pool import Solution
 
@@ -44,6 +45,8 @@ def run_assembly(
     U: int,
     config: AssemblyConfig | None = None,
     rng: np.random.Generator | None = None,
+    runtime: RuntimeConfig | None = None,
+    budget: RunBudget | None = None,
 ) -> AssemblyResult:
     """Run greedy + local search (+ multistart/combination) on fragments."""
     config = AssemblyConfig() if config is None else config
@@ -51,7 +54,7 @@ def run_assembly(
     if fragment_graph.n and int(fragment_graph.vsize.max()) > U:
         raise ValueError("a fragment exceeds U; filtering did not respect the bound")
     t0 = time.perf_counter()
-    solution, stats = multistart(fragment_graph, U, config, rng)
+    solution, stats = multistart(fragment_graph, U, config, rng, runtime=runtime, budget=budget)
     return AssemblyResult(
         solution=solution, stats=stats, time_assembly=time.perf_counter() - t0
     )

@@ -7,6 +7,14 @@ the first ``k`` iterations seed the pool; every later iteration generates a
 fresh solution ``P``, combines two random pool members into ``P'``, combines
 ``P`` with ``P'`` into ``P''``, and tries to insert ``P''``, ``P'``, ``P``
 into the pool in that order.
+
+Because every iteration only ever *adds* a candidate, the loop is naturally
+anytime: an expired :class:`~repro.runtime.budget.RunBudget` stops it after
+the current iteration and the best solution so far is returned (at least
+one iteration always runs, so the result is always valid).  With
+``runtime.checkpoint_path`` set, the solution pool, best solution, and RNG
+state are periodically serialized so a killed run can be resumed with
+``runtime.resume`` (see ``docs/RESILIENCE.md`` for the format).
 """
 
 from __future__ import annotations
@@ -17,8 +25,10 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.config import AssemblyConfig
+from ..core.config import AssemblyConfig, RuntimeConfig
 from ..graph.graph import Graph
+from ..runtime.budget import RunBudget
+from ..runtime.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .cells import PartitionState
 from .combine import combine_solutions
 from .greedy import greedy_labels_for_graph
@@ -26,6 +36,8 @@ from .local_search import local_search
 from .pool import ElitePool, Solution
 
 __all__ = ["MultistartStats", "multistart"]
+
+CHECKPOINT_KIND = "multistart"
 
 
 @dataclass
@@ -36,6 +48,21 @@ class MultistartStats:
     ls_improvements: int = 0
     ls_steps: int = 0
     iteration_costs: List[float] = field(default_factory=list)
+    # resilience accounting (docs/RESILIENCE.md)
+    deadline_expired: bool = False  # loop stopped early on the budget
+    resumed_at: int = -1  # iteration restored from a checkpoint (-1 = fresh)
+    checkpoints_written: int = 0
+
+    def incidents(self) -> dict:
+        """Non-trivial resilience events, for run reports."""
+        out: dict = {}
+        if self.deadline_expired:
+            out["deadline_expired"] = True
+        if self.resumed_at >= 0:
+            out["resumed_at"] = self.resumed_at
+        if self.checkpoints_written:
+            out["checkpoints_written"] = self.checkpoints_written
+        return out
 
 
 def _one_start(
@@ -57,18 +84,57 @@ def _one_start(
     return Solution.from_labels(g, state.labels, state.cost)
 
 
+def _checkpoint_state(
+    g: Graph, it: int, rng: np.random.Generator, best: Solution, pool: Optional[ElitePool]
+) -> dict:
+    return {
+        "iteration": it,
+        "rng_state": rng.bit_generator.state,
+        "best": {"labels": np.asarray(best.labels), "cost": float(best.cost)},
+        "pool": None
+        if pool is None
+        else [
+            {"labels": np.asarray(s.labels), "cost": float(s.cost)}
+            for s in pool.solutions
+        ],
+        "graph": {"n": int(g.n), "m": int(g.m)},
+    }
+
+
+def _restore(g: Graph, state: dict, pool: Optional[ElitePool], rng: np.random.Generator):
+    """Apply a loaded checkpoint; returns (start_iteration, best_solution)."""
+    fp = state.get("graph", {})
+    if fp.get("n") != g.n or fp.get("m") != g.m:
+        raise CheckpointError(
+            f"checkpoint was written for a graph with n={fp.get('n')}, m={fp.get('m')}; "
+            f"this graph has n={g.n}, m={g.m}"
+        )
+    rng.bit_generator.state = state["rng_state"]
+    best = Solution.from_labels(g, state["best"]["labels"], state["best"]["cost"])
+    if pool is not None and state.get("pool"):
+        for entry in state["pool"]:
+            pool.add(Solution.from_labels(g, entry["labels"], entry["cost"]))
+    return int(state["iteration"]), best
+
+
 def multistart(
     g: Graph,
     U: int,
     cfg: Optional[AssemblyConfig] = None,
     rng: np.random.Generator | None = None,
+    runtime: RuntimeConfig | None = None,
+    budget: RunBudget | None = None,
 ) -> tuple[Solution, MultistartStats]:
     """Run the full assembly search on a fragment graph.
 
-    Returns the best solution found and per-run statistics.
+    Returns the best solution found and per-run statistics.  See the module
+    docstring for deadline and checkpoint/resume semantics.
     """
     cfg = AssemblyConfig() if cfg is None else cfg
     rng = np.random.default_rng() if rng is None else rng
+    runtime = RuntimeConfig() if runtime is None else runtime
+    if budget is None and runtime.time_budget is not None:
+        budget = runtime.make_budget()
     stats = MultistartStats()
 
     best: Optional[Solution] = None
@@ -77,7 +143,20 @@ def multistart(
         k = cfg.pool_capacity or max(2, math.ceil(math.sqrt(cfg.multistart)))
         pool = ElitePool(k)
 
-    for it in range(cfg.multistart):
+    start_iter = 0
+    ckpt = runtime.checkpoint_path
+    if ckpt and runtime.resume:
+        state = load_checkpoint(ckpt, CHECKPOINT_KIND)
+        if state is not None:
+            start_iter, best = _restore(g, state, pool, rng)
+            stats.resumed_at = start_iter
+
+    for it in range(start_iter, cfg.multistart):
+        # the deadline is honored only once a valid solution exists: the
+        # first iteration (or a resumed best) guarantees anytime validity
+        if best is not None and budget is not None and budget.checkpoint("multistart"):
+            stats.deadline_expired = True
+            break
         p = _one_start(g, U, cfg, rng, stats)
         stats.iterations += 1
         candidates = [p]
@@ -97,6 +176,10 @@ def multistart(
             if best is None or c.cost < best.cost:
                 best = c
         stats.iteration_costs.append(min(c.cost for c in candidates))
+
+        if ckpt and ((it + 1) % runtime.checkpoint_every == 0 or it + 1 == cfg.multistart):
+            save_checkpoint(ckpt, CHECKPOINT_KIND, _checkpoint_state(g, it + 1, rng, best, pool))
+            stats.checkpoints_written += 1
 
     assert best is not None
     return best, stats

@@ -10,6 +10,16 @@ the paper's recipe:
    solutions with ``U = U*`` and ``phi = 512``;
 3. rebalance each solution 50 times with ``phi = 128``;
 4. return the best balanced solution found.
+
+Resilience (``docs/RESILIENCE.md``): every (start, rebalance) step only
+ever *adds* a candidate balanced solution, so the loop is anytime — once a
+feasible solution exists, an expired :class:`~repro.runtime.budget.RunBudget`
+stops the search and returns the best so far.  With
+``config.runtime.checkpoint_path`` set, progress (loop indices, the current
+unbalanced solution, the best balanced labels, and the RNG state) is
+periodically serialized so a killed run can resume via
+``config.runtime.resume``; a resumed run can only improve on the cost it
+had at kill time.
 """
 
 from __future__ import annotations
@@ -29,9 +39,13 @@ from ..core.partition import Partition
 from ..core.result import BalancedResult
 from ..filtering.pipeline import run_filtering
 from ..graph.graph import Graph
+from ..runtime.budget import RunBudget
+from ..runtime.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .rebalance import rebalance
 
 __all__ = ["run_balanced_punch", "balanced_from_fragments", "balanced_cell_bound"]
+
+CHECKPOINT_KIND = "balanced"
 
 
 def balanced_cell_bound(total_size: int, k: int, epsilon: float) -> int:
@@ -45,6 +59,7 @@ def run_balanced_punch(
     epsilon: float | None = None,
     config: Optional[BalancedConfig] = None,
     rng: np.random.Generator | None = None,
+    budget: RunBudget | None = None,
 ) -> BalancedResult:
     """Find an epsilon-balanced partition of ``g`` into at most ``k`` cells."""
     config = BalancedConfig() if config is None else config
@@ -54,6 +69,8 @@ def run_balanced_punch(
         rng = np.random.default_rng(config.seed)
     if k < 1:
         raise ValueError("k must be >= 1")
+    if budget is None and config.runtime.time_budget is not None:
+        budget = config.runtime.make_budget()
 
     t_start = time.perf_counter()
     n_total = g.total_size()
@@ -62,10 +79,47 @@ def run_balanced_punch(
         raise ValueError("U* smaller than the largest vertex size; infeasible")
 
     U_filter = max(int(g.vsize.max(initial=1)), U_star // config.filter_divisor)
-    filt = run_filtering(g, U_filter, config.filter, rng)
+    filt = run_filtering(g, U_filter, config.filter, rng, runtime=config.runtime, budget=budget)
     return balanced_from_fragments(
-        g, filt.fragment_graph, filt.map, k, U_star, config, rng, t_start=t_start
+        g,
+        filt.fragment_graph,
+        filt.map,
+        k,
+        U_star,
+        config,
+        rng,
+        t_start=t_start,
+        budget=budget,
+        filter_report=filt.run_report(),
     )
+
+
+def _checkpoint_state(
+    frag: Graph,
+    k: int,
+    U_star: int,
+    start: int,
+    reb: int,
+    start_labels,
+    rng: np.random.Generator,
+    best_labels,
+    best_cost: float,
+    attempts: int,
+    failures: int,
+    unbalanced_costs,
+) -> dict:
+    return {
+        "start": int(start),
+        "rebalance": int(reb),
+        "start_labels": None if start_labels is None else np.asarray(start_labels).copy(),
+        "rng_state": rng.bit_generator.state,
+        "best_labels": None if best_labels is None else np.asarray(best_labels).copy(),
+        "best_cost": float(best_cost),
+        "attempts": int(attempts),
+        "failures": int(failures),
+        "unbalanced_costs": list(unbalanced_costs),
+        "problem": {"n": int(frag.n), "m": int(frag.m), "k": int(k), "U_star": int(U_star)},
+    }
 
 
 def balanced_from_fragments(
@@ -77,13 +131,17 @@ def balanced_from_fragments(
     config: BalancedConfig,
     rng: np.random.Generator,
     t_start: float | None = None,
+    budget: RunBudget | None = None,
+    filter_report: Optional[dict] = None,
 ) -> BalancedResult:
     """Steps 2-4 of the balanced recipe, given an existing fragment graph.
 
     Exposed separately so experiments can amortize one filtering run over
-    several randomized assembly+rebalance runs.
+    several randomized assembly+rebalance runs.  See the module docstring
+    for deadline and checkpoint/resume semantics.
     """
     t_start = time.perf_counter() if t_start is None else t_start
+    runtime = config.runtime
     n_starts = max(1, math.ceil(config.numerator / k))
     asm_cfg = replace(config.assembly, phi=config.phi_unbalanced)
 
@@ -92,20 +150,92 @@ def balanced_from_fragments(
     attempts = 0
     failures = 0
     unbalanced_costs = []
-    for _ in range(n_starts):
-        labels = greedy_labels_for_graph(frag, U_star, rng, asm_cfg.score_a, asm_cfg.score_b)
-        state = PartitionState(frag, labels)
-        local_search(
-            state,
-            U_star,
-            variant=asm_cfg.local_search,
-            phi_max=asm_cfg.phi,
-            rng=rng,
-            score_a=asm_cfg.score_a,
-            score_b=asm_cfg.score_b,
+    deadline_expired = False
+    checkpoints_written = 0
+    resumed_at = -1
+
+    start0 = 0
+    reb0 = 0
+    resumed_labels = None
+    ckpt = runtime.checkpoint_path
+    if ckpt and runtime.resume:
+        state = load_checkpoint(ckpt, CHECKPOINT_KIND)
+        if state is not None:
+            fp = state.get("problem", {})
+            if (
+                fp.get("n") != frag.n
+                or fp.get("m") != frag.m
+                or fp.get("k") != k
+                or fp.get("U_star") != U_star
+            ):
+                raise CheckpointError(
+                    "checkpoint does not match this problem "
+                    f"(expected n={frag.n} m={frag.m} k={k} U*={U_star}, got {fp})"
+                )
+            start0 = state["start"]
+            reb0 = state["rebalance"]
+            resumed_labels = state["start_labels"]
+            rng.bit_generator.state = state["rng_state"]
+            best_labels = state["best_labels"]
+            best_cost = state["best_cost"]
+            attempts = state["attempts"]
+            failures = state["failures"]
+            unbalanced_costs = state["unbalanced_costs"]
+            resumed_at = start0
+
+    def save(start, reb, start_labels):
+        save_checkpoint(
+            ckpt,
+            CHECKPOINT_KIND,
+            _checkpoint_state(
+                frag, k, U_star, start, reb, start_labels, rng,
+                best_labels, best_cost, attempts, failures, unbalanced_costs,
+            ),
         )
-        unbalanced_costs.append(state.cost)
-        for _ in range(config.rebalance_attempts):
+
+    for si in range(start0, n_starts):
+        # the deadline is honored only once a feasible solution exists, so
+        # an expired budget still yields a valid (if unpolished) result
+        if (
+            best_labels is not None
+            and budget is not None
+            and budget.checkpoint("balanced_start")
+        ):
+            deadline_expired = True
+            break
+
+        if si == start0 and resumed_labels is not None:
+            # mid-start resume: the unbalanced solution was checkpointed
+            state = PartitionState(frag, resumed_labels)
+            ri0 = reb0
+        else:
+            labels = greedy_labels_for_graph(
+                frag, U_star, rng, asm_cfg.score_a, asm_cfg.score_b
+            )
+            state = PartitionState(frag, labels)
+            local_search(
+                state,
+                U_star,
+                variant=asm_cfg.local_search,
+                phi_max=asm_cfg.phi,
+                rng=rng,
+                score_a=asm_cfg.score_a,
+                score_b=asm_cfg.score_b,
+            )
+            unbalanced_costs.append(state.cost)
+            ri0 = 0
+            if ckpt:
+                save(si, 0, state.labels)
+                checkpoints_written += 1
+
+        for ri in range(ri0, config.rebalance_attempts):
+            if (
+                best_labels is not None
+                and budget is not None
+                and budget.checkpoint("balanced_rebalance")
+            ):
+                deadline_expired = True
+                break
             attempts += 1
             out = rebalance(
                 frag,
@@ -116,20 +246,31 @@ def balanced_from_fragments(
                 config.phi_rebalance,
                 rng,
             )
-            if not out.success:
+            if out.success:
+                if out.cost < best_cost:
+                    best_cost = out.cost
+                    best_labels = out.labels.copy()
+            else:
                 failures += 1
-                continue
-            if out.cost < best_cost:
-                best_cost = out.cost
-                best_labels = out.labels.copy()
-            if out.rounds == 0 and state.num_cells() <= k:
+            if ckpt and (ri + 1) % runtime.checkpoint_every == 0:
+                save(si, ri + 1, state.labels)
+                checkpoints_written += 1
+            if out.success and out.rounds == 0 and state.num_cells() <= k:
                 break  # already balanced; rebalancing is deterministic here
+        if deadline_expired:
+            break
+        if ckpt:
+            save(si + 1, 0, None)
+            checkpoints_written += 1
 
     if best_labels is None:
-        raise RuntimeError(
-            "balanced PUNCH failed to rebalance any solution; try a larger "
-            "epsilon or a smaller filter_divisor"
-        )
+        hint = "try a larger epsilon or a smaller filter_divisor"
+        if budget is not None and budget.expired():
+            hint = (
+                "the run budget expired before any solution could be "
+                "rebalanced; increase the time budget"
+            )
+        raise RuntimeError(f"balanced PUNCH failed to rebalance any solution; {hint}")
 
     partition = Partition(g, best_labels[frag_map])
     return BalancedResult(
@@ -141,4 +282,8 @@ def balanced_from_fragments(
         attempts=attempts,
         failed_rebalances=failures,
         unbalanced_costs=unbalanced_costs,
+        deadline_expired=deadline_expired,
+        resumed_at=resumed_at,
+        checkpoints_written=checkpoints_written,
+        filter_report=dict(filter_report or {}),
     )

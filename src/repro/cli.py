@@ -18,7 +18,47 @@ import sys
 from pathlib import Path
 
 
-from .core.config import AssemblyConfig, BalancedConfig, PunchConfig
+from .core.config import AssemblyConfig, BalancedConfig, PunchConfig, RuntimeConfig
+
+
+def _runtime_from_args(args) -> RuntimeConfig:
+    """Build the resilience policy from the shared CLI flags."""
+    try:
+        return RuntimeConfig(
+            time_budget=args.time_budget,
+            max_retries=args.max_retries,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _add_runtime_flags(sp) -> None:
+    """Flags shared by the partition and balanced commands."""
+    sp.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the best valid partition so far is returned",
+    )
+    sp.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="periodically save progress here (see docs/RESILIENCE.md)",
+    )
+    sp.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint if it exists",
+    )
+    sp.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="extra attempts per failed min-cut subproblem (default 2)",
+    )
 
 
 def _load_graph(path: str):
@@ -84,6 +124,7 @@ def cmd_partition(args) -> int:
     g = _load_graph(args.graph)
     cfg = PunchConfig(
         assembly=AssemblyConfig(multistart=args.multistart, phi=args.phi),
+        runtime=_runtime_from_args(args),
         seed=args.seed,
     )
     res = run_punch(g, args.U, cfg)
@@ -104,6 +145,7 @@ def cmd_balanced(args) -> int:
         strong=args.strong,
         phi_unbalanced=args.phi,
         rebalance_attempts=args.rebalances,
+        runtime=_runtime_from_args(args),
         seed=args.seed,
     )
     res = run_balanced_punch(g, args.k, args.epsilon, cfg)
@@ -140,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=None)
     sp.add_argument("--multistart", type=int, default=1)
     sp.add_argument("--phi", type=int, default=16)
+    _add_runtime_flags(sp)
     sp.set_defaults(fn=cmd_partition)
 
     sp = sub.add_parser("balanced", help="balanced PUNCH with k cells")
@@ -151,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--rebalances", type=int, default=8)
     sp.add_argument("-o", "--output", help="write per-vertex cell ids here")
     sp.add_argument("--seed", type=int, default=None)
+    _add_runtime_flags(sp)
     sp.set_defaults(fn=cmd_balanced)
     return p
 

@@ -1,6 +1,6 @@
 """Public API of the PUNCH reproduction."""
 
-from .config import AssemblyConfig, BalancedConfig, FilterConfig, PunchConfig
+from .config import AssemblyConfig, BalancedConfig, FilterConfig, PunchConfig, RuntimeConfig
 from .partition import Partition
 from .nested import NestedPartition, run_nested_punch
 from .punch import run_punch
@@ -17,4 +17,5 @@ __all__ = [
     "FilterConfig",
     "AssemblyConfig",
     "BalancedConfig",
+    "RuntimeConfig",
 ]

@@ -13,7 +13,55 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["FilterConfig", "AssemblyConfig", "PunchConfig", "BalancedConfig"]
+from ..runtime.budget import RunBudget
+from ..runtime.faults import FaultPlan
+
+__all__ = [
+    "FilterConfig",
+    "AssemblyConfig",
+    "PunchConfig",
+    "BalancedConfig",
+    "RuntimeConfig",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Resilience policy for a run (see ``docs/RESILIENCE.md``).
+
+    The defaults are inert: no deadline, no per-subproblem timeout, no
+    checkpointing, no fault injection — only the bounded-retry and
+    executor/solver degradation safety nets are armed.  ``fault_plan`` is
+    exclusively a test/CI hook.
+    """
+
+    time_budget: Optional[float] = None  # wall-clock seconds for the whole run
+    subproblem_timeout: Optional[float] = None  # per min-cut subproblem (pooled only)
+    max_retries: int = 2  # extra attempts per failed subproblem
+    backoff_base: float = 0.05  # first retry delay (seconds); 0 disables sleeps
+    backoff_max: float = 1.0  # backoff ceiling
+    backoff_jitter: float = 0.1  # jitter fraction on top of the backoff
+    retry_seed: int = 0  # seeds the backoff jitter
+    checkpoint_path: Optional[str] = None  # where multistart/balanced loops checkpoint
+    checkpoint_every: int = 4  # loop iterations between checkpoint writes
+    resume: bool = False  # continue from checkpoint_path if it exists
+    fault_plan: Optional[FaultPlan] = None  # deterministic fault injection (tests)
+
+    def __post_init__(self) -> None:
+        if self.time_budget is not None and self.time_budget < 0:
+            raise ValueError("time_budget must be >= 0 (or None)")
+        if self.subproblem_timeout is not None and self.subproblem_timeout <= 0:
+            raise ValueError("subproblem_timeout must be > 0 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.resume and not self.checkpoint_path:
+            raise ValueError("resume requires checkpoint_path")
+
+    def make_budget(self) -> RunBudget:
+        """A fresh :class:`RunBudget` for one run under this config."""
+        return RunBudget(self.time_budget)
 
 
 @dataclass(frozen=True)
@@ -76,6 +124,7 @@ class PunchConfig:
 
     filter: FilterConfig = field(default_factory=FilterConfig)
     assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     seed: Optional[int] = None
 
     def with_seed(self, seed: int) -> "PunchConfig":
@@ -96,6 +145,7 @@ class BalancedConfig:
     phi_rebalance: int = 128
     filter: FilterConfig = field(default_factory=FilterConfig)
     assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     seed: Optional[int] = None
 
     @property

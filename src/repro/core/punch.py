@@ -19,6 +19,7 @@ from ..filtering.pipeline import run_filtering
 from ..graph.components import connected_components
 from ..graph.graph import Graph
 from ..graph.subgraph import induced_subgraph
+from ..runtime.budget import RunBudget
 from .config import PunchConfig
 from .partition import Partition
 from .result import PunchResult
@@ -31,21 +32,32 @@ def run_punch(
     U: int,
     config: Optional[PunchConfig] = None,
     rng: np.random.Generator | None = None,
+    budget: RunBudget | None = None,
 ) -> PunchResult:
-    """Partition ``g`` into cells of size at most ``U`` with PUNCH."""
+    """Partition ``g`` into cells of size at most ``U`` with PUNCH.
+
+    With ``config.runtime.time_budget`` set (or an explicit ``budget``), the
+    whole run shares one deadline: filtering stops contracting and assembly
+    stops iterating when it expires, and the best valid partition found so
+    far is returned.  See ``docs/RESILIENCE.md``.
+    """
     config = PunchConfig() if config is None else config
     if rng is None:
         rng = np.random.default_rng(config.seed)
     if U < int(g.vsize.max(initial=1)):
         raise ValueError("U must be at least the largest vertex size")
+    if budget is None and config.runtime.time_budget is not None:
+        budget = config.runtime.make_budget()
 
     ncomp, comp = connected_components(g)
     if ncomp > 1:
-        return _run_per_component(g, U, config, rng, ncomp, comp)
+        return _run_per_component(g, U, config, rng, ncomp, comp, budget)
 
-    filt = run_filtering(g, U, config.filter, rng)
+    filt = run_filtering(g, U, config.filter, rng, runtime=config.runtime, budget=budget)
     t0 = time.perf_counter()
-    asm = run_assembly(filt.fragment_graph, U, config.assembly, rng)
+    asm = run_assembly(
+        filt.fragment_graph, U, config.assembly, rng, runtime=config.runtime, budget=budget
+    )
     time_assembly = time.perf_counter() - t0
 
     labels = asm.labels[filt.map]
@@ -68,8 +80,18 @@ def _run_per_component(
     rng: np.random.Generator,
     ncomp: int,
     comp: np.ndarray,
+    budget: RunBudget | None = None,
 ) -> PunchResult:
     """Partition each connected component independently and merge."""
+    from dataclasses import replace
+
+    if config.runtime.checkpoint_path is not None:
+        # one checkpoint file cannot serve several per-component sub-runs;
+        # the shared budget still bounds the whole multi-component run
+        config = replace(
+            config,
+            runtime=replace(config.runtime, checkpoint_path=None, resume=False),
+        )
     labels = np.zeros(g.n, dtype=np.int64)
     offset = 0
     total = dict(time_tiny=0.0, time_natural=0.0, time_assembly=0.0)
@@ -82,7 +104,7 @@ def _run_per_component(
             offset += 1
             continue
         sub, sub_to_g, _ = induced_subgraph(g, members)
-        res = run_punch(sub, U, config, rng)
+        res = run_punch(sub, U, config, rng, budget=budget)
         labels[sub_to_g] = res.partition.labels + offset
         offset += res.partition.num_cells
         total["time_tiny"] += res.time_tiny

@@ -50,14 +50,32 @@ class PunchResult:
         """LB = ceil(n / U)."""
         return -(-self.partition.graph.total_size() // self.U)
 
+    def run_report(self) -> dict:
+        """Resilience incidents across both phases (empty dict = clean run).
+
+        Keys follow docs/RESILIENCE.md: retries, timeouts, skipped,
+        deadline_skipped, solver_fallbacks, executor_degradations,
+        deadline_expired, resumed_at, checkpoints_written.
+        """
+        report = self.filter_result.run_report()
+        if self.assembly_stats is not None:
+            for key, value in self.assembly_stats.incidents().items():
+                report[f"assembly_{key}" if key in report else key] = value
+        return report
+
     def summary(self) -> str:
         """One-line human-readable result summary."""
-        return (
+        line = (
             f"U={self.U}: cells={self.num_cells} (LB {self.lower_bound_cells}), "
             f"|V'|={self.num_fragments}, cost={self.cost:g}, "
             f"time tny/nat/asm = {self.time_tiny:.1f}/{self.time_natural:.1f}/"
             f"{self.time_assembly:.1f}s"
         )
+        incidents = self.run_report()
+        if incidents:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
+            line += f" [resilience: {detail}]"
+        return line
 
 
 @dataclass
@@ -72,6 +90,11 @@ class BalancedResult:
     attempts: int = 0
     failed_rebalances: int = 0
     unbalanced_costs: list = field(default_factory=list)
+    # resilience accounting (docs/RESILIENCE.md)
+    deadline_expired: bool = False  # driver stopped early on the budget
+    resumed_at: int = -1  # start index restored from a checkpoint (-1 = fresh)
+    checkpoints_written: int = 0
+    filter_report: dict = field(default_factory=dict)
 
     @property
     def cost(self) -> float:
@@ -84,9 +107,25 @@ class BalancedResult:
             and self.partition.max_cell_size() <= self.U_star
         )
 
+    def run_report(self) -> dict:
+        """Resilience incidents of the whole run (empty dict = clean run)."""
+        report = dict(self.filter_report)
+        if self.deadline_expired:
+            report["deadline_expired"] = True
+        if self.resumed_at >= 0:
+            report["resumed_at"] = self.resumed_at
+        if self.checkpoints_written:
+            report["checkpoints_written"] = self.checkpoints_written
+        return report
+
     def summary(self) -> str:
-        return (
+        line = (
             f"k={self.k} eps={self.epsilon}: cells={self.partition.num_cells}, "
             f"cost={self.cost:g}, max cell={self.partition.max_cell_size()} "
             f"(U*={self.U_star}), time={self.time_total:.1f}s"
         )
+        incidents = self.run_report()
+        if incidents:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
+            line += f" [resilience: {detail}]"
+        return line

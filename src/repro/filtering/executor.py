@@ -33,13 +33,25 @@ def map_subproblems(
     executor: str = "serial",
     workers: int | None = None,
 ) -> List[R]:
-    """Apply ``fn`` to every item, preserving order."""
+    """Apply ``fn`` to every item, preserving order.
+
+    ``workers=None`` lets the pool pick its default; an explicit worker
+    count must be positive.  An empty item list returns ``[]`` without
+    spinning up a pool.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1 or None, got {workers}")
+    if not items:
+        return []
     if executor == "serial":
         return [fn(x) for x in items]
     if executor == "threads":
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
-    if executor == "processes":
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=max(1, len(items) // 64)))
-    raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    # processes: aim for ~64 chunks total (ceiling division keeps tiny
+    # inputs at chunksize 1 instead of degenerating through 0 // 64)
+    chunksize = max(1, -(-len(items) // 64))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -17,23 +17,44 @@ the sweep O(n).
 Mirroring the paper's parallelization, each sweep first *collects* all
 subproblems sequentially (BFS + core marking, which determines the centers),
 then solves the min-cut instances through an executor.
+
+Resilience (see ``docs/RESILIENCE.md``): subproblems run through
+:func:`~repro.runtime.executor.resilient_map`, each min-cut solve falls back
+along :data:`SOLVER_FALLBACKS` when a solver raises, and an expired
+:class:`~repro.runtime.budget.RunBudget` stops the detection early — every
+skip, retry, fallback, and degradation is counted on
+:class:`NaturalCutStats`.  Skipping a subproblem is always safe: natural
+cuts only *suggest* fragment borders, and fragment extraction enforces the
+size bound unconditionally.
 """
 
 from __future__ import annotations
 
 import functools
-import math
 from dataclasses import dataclass, field
-from typing import List
+import math
+from typing import List, Optional
 
 import numpy as np
 
+from ..core.config import RuntimeConfig
 from ..graph.graph import Graph
 from ..graph.traversal import BFSWorkspace, grow_bfs_region
+from ..runtime.budget import RunBudget
+from ..runtime.executor import resilient_map
+from ..runtime.faults import FaultPlan
 from .cut_problem import CutProblem, build_cut_problem, solve_cut_problem
-from .executor import map_subproblems
 
-__all__ = ["NaturalCutStats", "detect_natural_cuts", "collect_cut_problems"]
+__all__ = ["NaturalCutStats", "detect_natural_cuts", "collect_cut_problems", "SOLVER_FALLBACKS"]
+
+#: fallback order when a flow solver raises: the paper's push-relabel drops
+#: to the BFS-based reference solvers, which are slower but independent code
+SOLVER_FALLBACKS = {
+    "push_relabel": ("dinic", "edmonds_karp"),
+    "scipy": ("push_relabel", "dinic"),
+    "dinic": ("edmonds_karp",),
+    "edmonds_karp": ("dinic",),
+}
 
 
 @dataclass
@@ -48,6 +69,31 @@ class NaturalCutStats:
     tree_sizes: List[int] = field(default_factory=list)
     core_sizes: List[int] = field(default_factory=list)
     ring_sizes: List[int] = field(default_factory=list)
+    # resilience accounting (docs/RESILIENCE.md)
+    retries: int = 0  # re-attempted subproblems
+    timeouts: int = 0  # attempts killed by the per-subproblem timeout
+    skipped: int = 0  # subproblems dropped after exhausting attempts
+    deadline_skipped: int = 0  # subproblems never solved (budget expired)
+    solver_fallbacks: int = 0  # solves that succeeded on a fallback solver
+    executor_degradations: int = 0  # processes -> threads -> serial demotions
+    final_executor: str = "serial"  # tier that finished the work
+    deadline_expired: bool = False  # detection stopped early on the budget
+    error_samples: List[str] = field(default_factory=list)
+
+    def incidents(self) -> dict:
+        """Non-zero resilience counters, for run reports."""
+        counters = {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "skipped": self.skipped,
+            "deadline_skipped": self.deadline_skipped,
+            "solver_fallbacks": self.solver_fallbacks,
+            "executor_degradations": self.executor_degradations,
+        }
+        out = {k: v for k, v in counters.items() if v}
+        if self.deadline_expired:
+            out["deadline_expired"] = True
+        return out
 
 
 def collect_cut_problems(
@@ -57,18 +103,27 @@ def collect_cut_problems(
     f: float,
     rng: np.random.Generator,
     stats: NaturalCutStats | None = None,
+    budget: RunBudget | None = None,
 ) -> List[CutProblem]:
     """One coverage sweep: pick centers until every vertex is in some core.
 
     Returns the list of min-cut subproblems (regions whose BFS exhausted a
-    component produce no problem — there is nothing to cut there).
+    component produce no problem — there is nothing to cut there).  When
+    ``budget`` expires mid-sweep, the sweep stops and returns the problems
+    collected so far.
     """
     max_size = max(2, int(math.ceil(alpha * U)))
     core_size = max(1, int(math.ceil(alpha * U / f)))
     ws = BFSWorkspace(g.n)
     covered = np.zeros(g.n, dtype=bool)
     problems: List[CutProblem] = []
-    for center in rng.permutation(g.n):
+    for sweep_pos, center in enumerate(rng.permutation(g.n)):
+        if (
+            budget is not None
+            and sweep_pos % 64 == 0
+            and budget.checkpoint("collect_cut_problems")
+        ):
+            break
         center = int(center)
         if covered[center]:
             continue
@@ -89,8 +144,30 @@ def collect_cut_problems(
     return problems
 
 
-def _solve_one(problem: CutProblem, solver: str):
-    return solve_cut_problem(problem, solver)
+def _solve_one(
+    problem: CutProblem, solver: str, fault_plan: Optional[FaultPlan] = None
+) -> tuple[float, np.ndarray, int]:
+    """Solve one subproblem, falling back along the solver chain.
+
+    Returns ``(cut_value, cut_edge_ids, fallbacks_used)``.  Fault injection
+    at the ``"flow"`` site is keyed by the problem's center and the position
+    in the solver chain, so a plan with ``max_attempt=0`` fails the primary
+    solver and lets the first fallback succeed.
+    """
+    chain = (solver,) + tuple(
+        s for s in SOLVER_FALLBACKS.get(solver, ()) if s != solver
+    )
+    last_exc: Exception | None = None
+    for pos, candidate in enumerate(chain):
+        try:
+            if fault_plan is not None:
+                fault_plan.apply("flow", problem.center, pos)
+            value, cut_edges = solve_cut_problem(problem, candidate)
+            return value, cut_edges, pos
+        except Exception as exc:  # noqa: BLE001 - resilience boundary
+            last_exc = exc
+    assert last_exc is not None
+    raise last_exc
 
 
 def detect_natural_cuts(
@@ -103,26 +180,68 @@ def detect_natural_cuts(
     solver: str = "push_relabel",
     executor: str = "serial",
     workers: int | None = None,
+    runtime: RuntimeConfig | None = None,
+    budget: RunBudget | None = None,
 ) -> tuple[np.ndarray, NaturalCutStats]:
     """Run ``C`` coverage sweeps; returns ``(cut_edge_ids, stats)``.
 
     ``cut_edge_ids`` is the union of all edges cut by any natural cut —
     the set ``C`` of the paper, whose removal defines the fragments.
+
+    ``runtime`` configures timeouts, retries, and fault injection;
+    ``budget`` (or ``runtime.time_budget``) bounds wall-clock time — on
+    expiry the cuts marked so far are returned instead of raising.
     """
     rng = np.random.default_rng() if rng is None else rng
+    runtime = RuntimeConfig() if runtime is None else runtime
+    if budget is None and runtime.time_budget is not None:
+        budget = runtime.make_budget()
     stats = NaturalCutStats()
+    stats.final_executor = executor
     marked = np.zeros(g.m, dtype=bool)
     for _ in range(max(1, int(C))):
-        problems = collect_cut_problems(g, U, alpha, f, rng, stats)
+        if budget is not None and budget.checkpoint("natural_cuts_sweep"):
+            stats.deadline_expired = True
+            break
+        problems = collect_cut_problems(g, U, alpha, f, rng, stats, budget=budget)
         # functools.partial of a module-level function stays picklable for
         # the "processes" executor (a lambda would not)
-        solve = functools.partial(_solve_one, solver=solver)
-        results = map_subproblems(solve, problems, executor=executor, workers=workers)
-        for value, cut_edges in results:
+        solve = functools.partial(_solve_one, solver=solver, fault_plan=runtime.fault_plan)
+        results, report = resilient_map(
+            solve,
+            problems,
+            executor=executor,
+            workers=workers,
+            timeout=runtime.subproblem_timeout,
+            max_retries=runtime.max_retries,
+            backoff_base=runtime.backoff_base,
+            backoff_max=runtime.backoff_max,
+            backoff_jitter=runtime.backoff_jitter,
+            seed=runtime.retry_seed,
+            budget=budget,
+            fault_plan=runtime.fault_plan,
+        )
+        stats.retries += report.retries
+        stats.timeouts += report.timeouts
+        stats.skipped += report.skipped
+        stats.deadline_skipped += report.deadline_skipped
+        stats.executor_degradations += report.executor_degradations
+        stats.final_executor = report.final_executor
+        for msg in report.error_samples:
+            if len(stats.error_samples) < 8:
+                stats.error_samples.append(msg)
+        for out in results:
+            if out is None:
+                continue  # skipped subproblem: its cuts are simply not marked
+            value, cut_edges, fallbacks = out
             stats.problems_solved += 1
             stats.total_cut_value += value
             stats.cut_values.append(float(value))
+            if fallbacks:
+                stats.solver_fallbacks += 1
             marked[cut_edges] = True
+    if budget is not None and budget.expired():
+        stats.deadline_expired = True
     cut_ids = np.flatnonzero(marked).astype(np.int64)
     stats.cut_edges_marked = len(cut_ids)
     return cut_ids, stats

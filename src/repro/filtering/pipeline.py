@@ -15,9 +15,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.config import FilterConfig
+from ..core.config import FilterConfig, RuntimeConfig
 from ..graph.contraction import ContractionChain
 from ..graph.graph import Graph
+from ..runtime.budget import RunBudget
 from .fragments import FragmentStats, fragment_labels
 from .natural_cuts import NaturalCutStats, detect_natural_cuts
 from .tiny_cuts import TinyCutStats, run_tiny_cuts
@@ -53,20 +54,39 @@ class FilterResult:
         n0 = len(self.map)
         return n0 / max(1, self.fragment_graph.n)
 
+    def run_report(self) -> dict:
+        """Resilience incidents of the filtering phase (empty = clean run)."""
+        report: dict = {}
+        if self.tiny_stats is not None and self.tiny_stats.deadline_expired:
+            report["tiny_deadline_expired"] = True
+            report["tiny_passes_run"] = self.tiny_stats.passes_run
+        if self.natural_stats is not None:
+            report.update(self.natural_stats.incidents())
+        return report
+
 
 def run_filtering(
     g: Graph,
     U: int,
     config: FilterConfig | None = None,
     rng: np.random.Generator | None = None,
+    runtime: RuntimeConfig | None = None,
+    budget: RunBudget | None = None,
 ) -> FilterResult:
-    """Run the filtering phase of PUNCH on ``g`` with cell bound ``U``."""
+    """Run the filtering phase of PUNCH on ``g`` with cell bound ``U``.
+
+    ``runtime``/``budget`` arm the resilience layer (docs/RESILIENCE.md):
+    on deadline expiry the phase returns the fragments contracted so far —
+    always a valid, size-bounded fragment graph — instead of raising.
+    """
     config = FilterConfig() if config is None else config
     rng = np.random.default_rng() if rng is None else rng
     if U < 1:
         raise ValueError("U must be >= 1")
     if U < int(g.vsize.max(initial=1)):
         raise ValueError("U is smaller than the largest vertex size; infeasible")
+    if budget is None and runtime is not None and runtime.time_budget is not None:
+        budget = runtime.make_budget()
 
     chain = ContractionChain(g)
 
@@ -74,7 +94,12 @@ def run_filtering(
     t0 = time.perf_counter()
     if config.detect_tiny_cuts:
         tiny_stats = run_tiny_cuts(
-            chain, U, tau=config.tau, chunk_large_paths=config.chunk_large_paths, rng=rng
+            chain,
+            U,
+            tau=config.tau,
+            chunk_large_paths=config.chunk_large_paths,
+            rng=rng,
+            budget=budget,
         )
     time_tiny = time.perf_counter() - t0
 
@@ -91,6 +116,8 @@ def run_filtering(
             solver=config.flow_solver,
             executor=config.executor,
             workers=config.workers,
+            runtime=runtime,
+            budget=budget,
         )
         labels, frag_stats = fragment_labels(chain.current, cut_ids, U)
         chain.apply(labels)

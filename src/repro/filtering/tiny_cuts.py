@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.contraction import ContractionChain
+from ..runtime.budget import RunBudget
 from .onecuts import OneCutStats, one_cut_labels
 from .paths import PathStats, degree_two_labels
 from .twocut_pass import TwoCutStats, two_cut_pass_labels
@@ -33,6 +34,8 @@ class TinyCutStats:
     pass1: OneCutStats = field(default_factory=OneCutStats)
     pass2: PathStats = field(default_factory=PathStats)
     pass3: TwoCutStats = field(default_factory=TwoCutStats)
+    passes_run: int = 3
+    deadline_expired: bool = False  # later passes skipped on budget expiry
 
 
 def run_tiny_cuts(
@@ -41,23 +44,45 @@ def run_tiny_cuts(
     tau: int = 5,
     chunk_large_paths: bool = False,
     rng: np.random.Generator | None = None,
+    budget: RunBudget | None = None,
 ) -> TinyCutStats:
     """Run passes 1-3 on ``chain.current``, contracting in place.
 
     The chain is advanced after each pass; ``chain.current`` ends up being
     the tiny-cut-contracted graph on which natural cuts are detected.
+
+    Each pass is a cooperative cancellation point: when ``budget`` expires
+    the remaining passes are skipped.  The chain is valid after every pass
+    (each pass only contracts groups of size <= U), so stopping early just
+    yields a less-contracted — but correct — graph.
     """
     stats = TinyCutStats(n_before=chain.current.n)
+    stats.passes_run = 0
 
+    if budget is not None and budget.checkpoint("tiny_cuts_pass1"):
+        stats.deadline_expired = True
+        stats.n_after_pass1 = stats.n_after_pass2 = stats.n_after_pass3 = chain.current.n
+        return stats
     labels, stats.pass1 = one_cut_labels(chain.current, U, tau=tau)
     chain.apply(labels)
     stats.n_after_pass1 = chain.current.n
+    stats.passes_run = 1
 
+    if budget is not None and budget.checkpoint("tiny_cuts_pass2"):
+        stats.deadline_expired = True
+        stats.n_after_pass2 = stats.n_after_pass3 = chain.current.n
+        return stats
     labels, stats.pass2 = degree_two_labels(chain.current, U, chunk_large=chunk_large_paths)
     chain.apply(labels)
     stats.n_after_pass2 = chain.current.n
+    stats.passes_run = 2
 
+    if budget is not None and budget.checkpoint("tiny_cuts_pass3"):
+        stats.deadline_expired = True
+        stats.n_after_pass3 = chain.current.n
+        return stats
     labels, stats.pass3 = two_cut_pass_labels(chain.current, U, rng=rng)
     chain.apply(labels)
     stats.n_after_pass3 = chain.current.n
+    stats.passes_run = 3
     return stats

@@ -1,0 +1,40 @@
+"""Resilient pipeline runtime: budgets, fault-tolerant execution, checkpoints.
+
+The algorithm-engineering literature treats wall-clock budgets and anytime
+behaviour as first-class concerns; PUNCH's structure cooperates naturally,
+because both phases are built from independently failable units (each
+natural-cut min-cut subproblem is solved in isolation, and each multistart
+iteration only ever *adds* a candidate).  This package provides the four
+pieces that turn that structure into a resilient runtime:
+
+- :mod:`~repro.runtime.budget` — :class:`RunBudget`, a shared deadline with
+  cooperative cancellation checkpoints; on expiry each phase returns its
+  best-so-far *valid* state instead of raising.
+- :mod:`~repro.runtime.executor` — :func:`resilient_map`, a fault-tolerant
+  wrapper over :func:`~repro.filtering.executor.map_subproblems` with
+  per-item timeouts, bounded retries with exponential backoff and seeded
+  jitter, and automatic degradation ``processes -> threads -> serial``.
+- :mod:`~repro.runtime.checkpoint` — atomic checkpoint files for the
+  multistart and balanced loops, so killed runs can be resumed.
+- :mod:`~repro.runtime.faults` — a seeded, deterministic :class:`FaultPlan`
+  that injects exceptions, delays, and timeouts so all of the above is
+  testable in CI without flaky timing tricks.
+
+See ``docs/RESILIENCE.md`` for the full policy description.
+"""
+
+from .budget import RunBudget
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .executor import ExecutionReport, resilient_map
+from .faults import FaultPlan, InjectedFault
+
+__all__ = [
+    "RunBudget",
+    "ExecutionReport",
+    "resilient_map",
+    "FaultPlan",
+    "InjectedFault",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+]

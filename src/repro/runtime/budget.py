@@ -1,0 +1,77 @@
+"""Wall-clock run budgets with cooperative cancellation checkpoints.
+
+A :class:`RunBudget` is created once per run and handed down through the
+phases.  Code at natural stopping points calls :meth:`RunBudget.checkpoint`
+(or :meth:`expired`); when the deadline has passed, the caller is expected
+to stop starting new work and return its best-so-far valid state — never to
+raise.  The budget records *where* expiry was noticed (the checkpoint
+labels), which the drivers surface in their run reports.
+
+The clock is injectable so tests can drive expiry deterministically instead
+of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["RunBudget"]
+
+
+class RunBudget:
+    """A wall-clock budget shared by every phase of a run.
+
+    Parameters
+    ----------
+    seconds : total budget in seconds, or ``None`` for unlimited.
+    clock : monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError("budget seconds must be >= 0 (or None for unlimited)")
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+        #: labels of checkpoints at which expiry was observed, in order
+        self.expired_at: List[str] = []
+
+    @classmethod
+    def unlimited(cls) -> "RunBudget":
+        """A budget that never expires."""
+        return cls(None)
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited, clamped at 0)."""
+        if self.seconds is None:
+            return float("inf")
+        return max(0.0, self.seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        """True once the deadline has passed (always False when unlimited)."""
+        return self.seconds is not None and self.elapsed() >= self.seconds
+
+    def checkpoint(self, label: str = "") -> bool:
+        """Cooperative cancellation point: returns True when expired.
+
+        Records ``label`` so run reports can show where the deadline hit.
+        """
+        if not self.expired():
+            return False
+        if label and (not self.expired_at or self.expired_at[-1] != label):
+            self.expired_at.append(label)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.seconds is None:
+            return "RunBudget(unlimited)"
+        return f"RunBudget({self.seconds}s, {self.remaining():.2f}s left)"

@@ -1,0 +1,78 @@
+"""Atomic checkpoint files for resumable multistart / balanced runs.
+
+A checkpoint is a pickled dict ``{"version", "kind", "state"}`` written via
+a temporary file and ``os.replace``, so a kill mid-write never corrupts an
+existing checkpoint.  ``kind`` tags the producing loop (``"multistart"`` or
+``"balanced"``); loading with the wrong kind — or a future format version —
+raises :class:`CheckpointError` rather than resuming garbage.
+
+The ``state`` payload is producer-defined but always contains the loop
+index, the best-so-far solution, and the numpy bit-generator state, so a
+resumed run continues the *same* random sequence it would have followed.
+The format is documented in ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be used (wrong kind/version/shape)."""
+
+
+def save_checkpoint(path: PathLike, kind: str, state: dict) -> None:
+    """Atomically write ``state`` (pickle) tagged with ``kind``."""
+    path = Path(path)
+    payload = {"version": CHECKPOINT_VERSION, "kind": str(kind), "state": state}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=path.name + ".", suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: PathLike, kind: str) -> Optional[dict]:
+    """Load a checkpoint's state; ``None`` when the file does not exist.
+
+    Raises :class:`CheckpointError` when the file is unreadable, was written
+    by a different loop kind, or has an unknown format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+    except (pickle.UnpicklingError, EOFError, OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise CheckpointError(f"checkpoint {path} has an unexpected shape")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {payload.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    if payload.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint {path} was written by a {payload.get('kind')!r} loop, "
+            f"not {kind!r}"
+        )
+    return payload["state"]

@@ -1,0 +1,328 @@
+"""Fault-tolerant map over independent subproblems.
+
+:func:`resilient_map` wraps :func:`~repro.filtering.executor.map_subproblems`
+with the resilience policy described in ``docs/RESILIENCE.md``:
+
+- **per-item timeout** — a task that exceeds ``timeout`` seconds counts as a
+  failed attempt (pooled executors only; a serial loop cannot preempt).
+- **bounded retry** — every item gets ``max_retries`` extra attempts, with
+  exponential backoff and seeded jitter between attempts.
+- **tier degradation** — ``BrokenProcessPool`` / pickling errors demote the
+  executor ``processes -> threads -> serial`` and re-run everything not yet
+  finished; degradation does not consume item attempts.
+- **deadline skips** — when a :class:`~repro.runtime.budget.RunBudget`
+  expires, unfinished items are skipped (result ``None``) instead of raised.
+
+Items that exhaust their attempts are also skipped, so the caller always
+gets a result list of the same length as the input; the paired
+:class:`ExecutionReport` accounts for every retry, timeout, skip, and
+degradation.  With no timeout, faults, or budget, pooled tiers take the
+plain chunked ``map_subproblems`` fast path, keeping no-fault overhead
+negligible.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from .budget import RunBudget
+from .faults import FaultPlan
+
+__all__ = ["ExecutionReport", "resilient_map", "DEGRADATION_ORDER"]
+
+T = TypeVar("T")
+
+#: executor tiers from most to least parallel; degradation walks rightward
+DEGRADATION_ORDER = ("processes", "threads", "serial")
+
+#: exceptions that indict the executor tier rather than the task
+_DEGRADE_ERRORS = (BrokenExecutor, pickle.PicklingError)
+
+
+def _is_degrade_error(exc: BaseException) -> bool:
+    """True when the failure indicts the executor tier, not the task.
+
+    CPython reports unpicklable callables inconsistently — lambdas defined
+    at module scope raise :class:`pickle.PicklingError`, but *local* objects
+    (closures, lambdas inside a function) raise ``AttributeError: Can't
+    pickle local object`` and some types ``TypeError: cannot pickle`` — so
+    the message is consulted for those two types.
+    """
+    if isinstance(exc, _DEGRADE_ERRORS):
+        return True
+    return isinstance(exc, (TypeError, AttributeError)) and "pickle" in str(exc).lower()
+
+_MAX_ERROR_SAMPLES = 8
+
+
+@dataclass
+class ExecutionReport:
+    """Accounting for one :func:`resilient_map` call.
+
+    ``failures`` counts raised attempts (including ones that later succeeded
+    on retry); ``skipped`` counts items that exhausted their attempts and
+    ``deadline_skipped`` items never finished because the budget expired —
+    both appear as ``None`` in the result list.
+    """
+
+    requested_executor: str = "serial"
+    final_executor: str = "serial"
+    items: int = 0
+    succeeded: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    skipped: int = 0
+    deadline_skipped: int = 0
+    executor_degradations: int = 0
+    error_samples: List[str] = field(default_factory=list)
+
+    def record_error(self, exc: BaseException) -> None:
+        """Keep a bounded sample of failure messages for the run report."""
+        if len(self.error_samples) < _MAX_ERROR_SAMPLES:
+            self.error_samples.append(f"{type(exc).__name__}: {exc}")
+
+    def any_incident(self) -> bool:
+        """True when anything other than clean first-try successes happened."""
+        return bool(
+            self.failures
+            or self.retries
+            or self.timeouts
+            or self.skipped
+            or self.deadline_skipped
+            or self.executor_degradations
+        )
+
+    def merge(self, other: "ExecutionReport") -> None:
+        """Accumulate another report (e.g. one per coverage sweep)."""
+        self.items += other.items
+        self.succeeded += other.succeeded
+        self.failures += other.failures
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.skipped += other.skipped
+        self.deadline_skipped += other.deadline_skipped
+        self.executor_degradations += other.executor_degradations
+        self.final_executor = other.final_executor
+        for msg in other.error_samples:
+            if len(self.error_samples) < _MAX_ERROR_SAMPLES:
+                self.error_samples.append(msg)
+
+
+def _fault_call(fn, item, plan: Optional[FaultPlan], key: int, attempt: int, in_process: bool):
+    """Module-level task wrapper (stays picklable for process pools)."""
+    if plan is not None:
+        if in_process:
+            plan.apply("process", key, attempt)
+        plan.apply("worker", key, attempt)
+    return fn(item)
+
+
+def _tier_chain(executor: str) -> List[str]:
+    if executor not in DEGRADATION_ORDER:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {tuple(reversed(DEGRADATION_ORDER))}"
+        )
+    return list(DEGRADATION_ORDER[DEGRADATION_ORDER.index(executor) :])
+
+
+class _Backoff:
+    """Exponential backoff with seeded jitter; sleeps are skipped at base 0."""
+
+    def __init__(self, base: float, cap: float, jitter: float, seed: int) -> None:
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self.rng = np.random.default_rng(seed)
+
+    def sleep(self, attempt: int) -> None:
+        if self.base <= 0:
+            return
+        delay = min(self.cap, self.base * (2.0 ** attempt))
+        delay *= 1.0 + self.jitter * float(self.rng.random())
+        time.sleep(delay)
+
+
+def resilient_map(
+    fn: Callable[[T], object],
+    items: Sequence[T],
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    *,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    backoff_max: float = 1.0,
+    backoff_jitter: float = 0.1,
+    seed: int = 0,
+    budget: Optional[RunBudget] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> tuple[List[Optional[object]], ExecutionReport]:
+    """Apply ``fn`` to every item with the resilience policy; order preserved.
+
+    Returns ``(results, report)`` where ``results[i]`` is ``fn(items[i])``
+    or ``None`` when the item was skipped (attempts exhausted or deadline).
+    Never raises for per-item failures; programming errors such as an
+    unknown executor still raise.
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    tiers = _tier_chain(executor)
+    report = ExecutionReport(requested_executor=executor, final_executor=executor)
+    report.items = len(items)
+    results: List[Optional[object]] = [None] * len(items)
+    if not items:
+        return results, report
+
+    backoff = _Backoff(backoff_base, backoff_max, backoff_jitter, seed)
+    # (index, attempts_used) of items still owed a result
+    pending: List[tuple[int, int]] = [(i, 0) for i in range(len(items))]
+    plain = timeout is None and fault_plan is None and budget is None
+
+    for tier_pos, tier in enumerate(tiers):
+        if not pending:
+            break
+        report.final_executor = tier
+
+        if plain and tier != "serial":
+            # fast path: nothing to inject, time, or cancel — use the chunked
+            # pool map and only fall back on executor-tier failures
+            # (imported lazily: filtering <-> runtime would otherwise cycle
+            # through core.config)
+            from ..filtering.executor import map_subproblems
+
+            try:
+                mapped = map_subproblems(
+                    fn, [items[i] for i, _ in pending], tier, workers
+                )
+            except Exception as exc:
+                if _is_degrade_error(exc):
+                    report.executor_degradations += 1
+                    report.record_error(exc)
+                    continue  # next tier re-runs all of pending
+                # a task failed inside the batch: isolate it below with the
+                # per-item path on this same tier
+            else:
+                for (i, _), value in zip(pending, mapped):
+                    results[i] = value
+                report.succeeded += len(pending)
+                pending = []
+                break
+
+        if tier == "serial":
+            pending = _run_serial(
+                fn, items, pending, results, report, backoff,
+                max_retries, budget, fault_plan,
+            )
+        else:
+            pending, degraded = _run_pooled(
+                fn, items, pending, results, report, backoff, tier, workers,
+                timeout, max_retries, budget, fault_plan,
+            )
+            if degraded and tier_pos + 1 < len(tiers):
+                continue
+        break
+
+    # anything still pending after the last tier was never completed
+    for _i, _ in pending:
+        report.skipped += 1
+    return results, report
+
+
+def _run_serial(fn, items, pending, results, report, backoff, max_retries, budget, fault_plan):
+    """Serial tier: in-line loop with retries; cannot preempt, so no timeout."""
+    queue = list(pending)
+    while queue:
+        if budget is not None and budget.checkpoint("executor"):
+            report.deadline_skipped += len(queue)
+            return []  # remaining items stay None in the result list
+        i, attempt = queue.pop(0)
+        try:
+            results[i] = _fault_call(fn, items[i], fault_plan, i, attempt, False)
+            report.succeeded += 1
+        except Exception as exc:
+            report.failures += 1
+            report.record_error(exc)
+            if attempt < max_retries:
+                report.retries += 1
+                backoff.sleep(attempt)
+                queue.append((i, attempt + 1))
+            else:
+                report.skipped += 1
+    return []
+
+
+def _run_pooled(
+    fn, items, pending, results, report, backoff, tier, workers,
+    timeout, max_retries, budget, fault_plan,
+):
+    """Pooled tier: submit/collect rounds with timeouts and retry rounds.
+
+    Returns ``(still_pending, degraded)``; ``degraded`` means the pool (or
+    pickling) broke and the remaining items should move to the next tier.
+    """
+    pool_cls = ProcessPoolExecutor if tier == "processes" else ThreadPoolExecutor
+    in_process = tier == "processes"
+    queue = list(pending)
+    try:
+        with pool_cls(max_workers=workers) as pool:
+            while queue:
+                futures = []
+                for i, attempt in queue:
+                    futures.append(
+                        (i, attempt, pool.submit(_fault_call, fn, items[i], fault_plan, i, attempt, in_process))
+                    )
+                retry_round: List[tuple[int, int]] = []
+                for pos, (i, attempt, fut) in enumerate(futures):
+                    if budget is not None and budget.checkpoint("executor"):
+                        rest = futures[pos:]
+                        for _j, _a, f in rest:
+                            f.cancel()
+                        report.deadline_skipped += len(rest) + len(retry_round)
+                        return [], False
+                    try:
+                        wait = timeout
+                        if budget is not None:
+                            rem = budget.remaining()
+                            if rem != float("inf"):
+                                wait = rem if wait is None else min(wait, rem)
+                        results[i] = fut.result(timeout=wait)
+                        report.succeeded += 1
+                    except FutureTimeoutError:
+                        fut.cancel()
+                        report.timeouts += 1
+                        report.failures += 1
+                        if attempt < max_retries:
+                            report.retries += 1
+                            retry_round.append((i, attempt + 1))
+                        else:
+                            report.skipped += 1
+                    except Exception as exc:
+                        if _is_degrade_error(exc):
+                            # the pool itself is broken: everything not yet
+                            # harvested moves to the next tier (no attempt used)
+                            report.executor_degradations += 1
+                            report.record_error(exc)
+                            unfinished = [(i, attempt)] + [(j, a) for j, a, _ in futures[pos + 1 :]]
+                            return unfinished + retry_round, True
+                        report.failures += 1
+                        report.record_error(exc)
+                        if attempt < max_retries:
+                            report.retries += 1
+                            backoff.sleep(attempt)
+                            retry_round.append((i, attempt + 1))
+                        else:
+                            report.skipped += 1
+                queue = retry_round
+        return [], False
+    except _DEGRADE_ERRORS as exc:  # pool construction / shutdown failure
+        report.executor_degradations += 1
+        report.record_error(exc)
+        return queue, True

@@ -1,0 +1,122 @@
+"""Deterministic fault injection for testing the resilient runtime.
+
+A :class:`FaultPlan` is a small frozen dataclass of primitives — picklable,
+so it survives the trip into process-pool workers — whose decisions are pure
+functions of ``(seed, site, key, attempt)``.  The same plan therefore
+injects the same faults on every run, which makes retry, fallback, and
+degradation paths testable in CI without flaky timing tricks.
+
+Sites used by the pipeline:
+
+- ``"flow"``    — inside a natural-cut flow solve (keyed by the problem's
+  center vertex; the attempt number is the position in the solver fallback
+  chain, so ``max_attempt=0`` means the primary solver fails and the
+  fallback succeeds).
+- ``"worker"``  — around a whole executor task (keyed by item index; the
+  attempt number is the retry count, so ``max_attempt=0`` means the first
+  try fails and the retry succeeds).
+- ``"process"`` — simulated pool collapse: the worker calls ``os._exit``,
+  which surfaces as ``BrokenProcessPool`` and exercises executor-tier
+  degradation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FaultPlan", "InjectedFault"]
+
+
+class InjectedFault(RuntimeError):
+    """An exception injected by a :class:`FaultPlan`."""
+
+
+def _uniform(seed: int, site: str, key: int, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (site, key, attempt)."""
+    site_id = zlib.crc32(site.encode("utf-8"))
+    ss = np.random.SeedSequence([seed & 0xFFFFFFFF, site_id, key & 0xFFFFFFFF, attempt])
+    return float(np.random.default_rng(ss).random())
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded plan of exceptions, delays, and crashes to inject.
+
+    Attributes
+    ----------
+    seed : base seed; different seeds give independent fault patterns.
+    failure_rate : probability that a given (site, key) raises
+        :class:`InjectedFault`.
+    delay_rate / delay_seconds : probability and duration of an injected
+        ``time.sleep`` — long delays plus a per-subproblem timeout simulate
+        hung workers.
+    crash_rate : probability that a ``"process"``-site check hard-kills the
+        worker process (``os._exit``), collapsing the pool.
+    max_attempt : faults only fire while ``attempt <= max_attempt``; the
+        default 0 makes first tries fail and retries/fallbacks succeed, so a
+        plan with a high ``failure_rate`` still lets runs complete.
+    sites : restrict injection to these site names ("" matches all).
+    """
+
+    seed: int = 0
+    failure_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.0
+    crash_rate: float = 0.0
+    max_attempt: int = 0
+    sites: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "delay_rate", "crash_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0")
+
+    def _active(self, site: str, attempt: int) -> bool:
+        if attempt > self.max_attempt:
+            return False
+        return not self.sites or site in self.sites
+
+    def should_fail(self, site: str, key: int, attempt: int = 0) -> bool:
+        """True when this (site, key, attempt) is scheduled to raise."""
+        if not self._active(site, attempt) or self.failure_rate <= 0.0:
+            return False
+        return _uniform(self.seed, "fail:" + site, key, attempt) < self.failure_rate
+
+    def delay(self, site: str, key: int, attempt: int = 0) -> float:
+        """Injected sleep duration in seconds (0 when none scheduled)."""
+        if not self._active(site, attempt) or self.delay_rate <= 0.0:
+            return 0.0
+        if _uniform(self.seed, "delay:" + site, key, attempt) < self.delay_rate:
+            return self.delay_seconds
+        return 0.0
+
+    def should_crash(self, site: str, key: int, attempt: int = 0) -> bool:
+        """True when this check should hard-kill the worker process.
+
+        Crashes are exclusive to the ``"process"`` site: it is the only one
+        guaranteed to be visited inside a pool worker, and ``os._exit`` at
+        any other site would take down the main interpreter.
+        """
+        if site != "process":
+            return False
+        if not self._active(site, attempt) or self.crash_rate <= 0.0:
+            return False
+        return _uniform(self.seed, "crash:" + site, key, attempt) < self.crash_rate
+
+    def apply(self, site: str, key: int, attempt: int = 0) -> None:
+        """Run all injections for one site visit (delay, crash, raise)."""
+        d = self.delay(site, key, attempt)
+        if d > 0:
+            time.sleep(d)
+        if self.should_crash(site, key, attempt):  # pragma: no cover - kills the process
+            os._exit(77)
+        if self.should_fail(site, key, attempt):
+            raise InjectedFault(f"injected fault at {site}[{key}] attempt {attempt}")

@@ -1,8 +1,15 @@
 """Unit tests for DIMACS and METIS graph file I/O."""
 
 import numpy as np
+import pytest
 
-from repro.graph.io import read_dimacs_gr, read_metis, write_dimacs_gr, write_metis
+from repro.graph.io import (
+    GraphFormatError,
+    read_dimacs_gr,
+    read_metis,
+    write_dimacs_gr,
+    write_metis,
+)
 
 from .conftest import make_graph, random_connected_graph
 
@@ -66,3 +73,76 @@ class TestMetis:
         path.write_text("3 2 010\n5 2\n7 1 3\n9 2\n")
         g = read_metis(path)
         assert g.vsize.tolist() == [5, 7, 9]
+
+
+class TestGraphFormatError:
+    """Malformed files raise a typed error naming the file and line."""
+
+    def test_is_a_value_error(self):
+        assert issubclass(GraphFormatError, ValueError)
+
+    def test_gr_malformed_arc_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 3 1\na 1 oops 1\n")
+        with pytest.raises(GraphFormatError) as ei:
+            read_dimacs_gr(path)
+        assert ei.value.lineno == 2
+        assert ei.value.path == str(path)
+        assert "bad.gr:2:" in str(ei.value)
+
+    def test_gr_truncated_arc_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 3 1\na 1\n")
+        with pytest.raises(GraphFormatError, match="malformed line"):
+            read_dimacs_gr(path)
+
+    def test_gr_endpoint_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("c ok\np sp 2 1\na 1 5 1\n")
+        with pytest.raises(GraphFormatError, match="out of range") as ei:
+            read_dimacs_gr(path)
+        assert ei.value.lineno == 3
+
+    def test_gr_negative_vertex_count(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp -4 0\n")
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_dimacs_gr(path)
+
+    def test_metis_empty_file(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("% only a comment\n")
+        with pytest.raises(GraphFormatError, match="empty"):
+            read_metis(path)
+
+    def test_metis_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("three two\n")
+        with pytest.raises(GraphFormatError, match="header") as ei:
+            read_metis(path)
+        assert ei.value.lineno == 1
+
+    def test_metis_negative_header(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("-3 2\n")
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_metis(path)
+
+    def test_metis_truncated_body(self, tmp_path):
+        path = tmp_path / "trunc.graph"
+        path.write_text("3 2\n2\n1 3\n")  # header promises 3 vertex lines
+        with pytest.raises(GraphFormatError, match="truncated"):
+            read_metis(path)
+
+    def test_metis_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 2\n2\n1 9\n2\n")
+        with pytest.raises(GraphFormatError, match="out of range") as ei:
+            read_metis(path)
+        assert ei.value.lineno == 3
+
+    def test_metis_malformed_vertex_line(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 2\n2\n1 x\n2\n")
+        with pytest.raises(GraphFormatError, match="malformed vertex line"):
+            read_metis(path)

@@ -1,0 +1,72 @@
+"""Tests for the RunBudget deadline object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import RunBudget
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for deterministic deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestRunBudget:
+    def test_unlimited_never_expires(self):
+        b = RunBudget.unlimited()
+        assert not b.expired()
+        assert b.remaining() == float("inf")
+        assert not b.checkpoint("anywhere")
+        assert b.expired_at == []
+
+    def test_expiry_with_fake_clock(self):
+        clock = FakeClock()
+        b = RunBudget(10.0, clock=clock)
+        assert not b.expired()
+        assert b.remaining() == pytest.approx(10.0)
+        clock.advance(9.0)
+        assert not b.expired()
+        assert b.remaining() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert b.expired()
+        assert b.remaining() == 0.0
+
+    def test_remaining_clamped_at_zero(self):
+        clock = FakeClock()
+        b = RunBudget(5.0, clock=clock)
+        clock.advance(50.0)
+        assert b.remaining() == 0.0
+        assert b.elapsed() == pytest.approx(50.0)
+
+    def test_checkpoint_records_labels(self):
+        clock = FakeClock()
+        b = RunBudget(1.0, clock=clock)
+        assert not b.checkpoint("phase1")
+        clock.advance(2.0)
+        assert b.checkpoint("phase2")
+        assert b.checkpoint("phase3")
+        assert b.expired_at == ["phase2", "phase3"]
+
+    def test_checkpoint_dedupes_consecutive_labels(self):
+        clock = FakeClock()
+        b = RunBudget(0.0, clock=clock)
+        for _ in range(5):
+            b.checkpoint("loop")
+        assert b.expired_at == ["loop"]
+
+    def test_zero_budget_expires_immediately(self):
+        b = RunBudget(0.0, clock=FakeClock())
+        assert b.expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RunBudget(-1.0)

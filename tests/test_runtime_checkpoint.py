@@ -1,0 +1,73 @@
+"""Tests for atomic checkpoint save/load."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import CheckpointError, load_checkpoint, save_checkpoint
+from repro.runtime.checkpoint import CHECKPOINT_VERSION
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        state = {"iteration": 3, "labels": np.arange(5), "cost": 12.5}
+        save_checkpoint(path, "multistart", state)
+        loaded = load_checkpoint(path, "multistart")
+        assert loaded["iteration"] == 3
+        assert loaded["cost"] == 12.5
+        assert np.array_equal(loaded["labels"], np.arange(5))
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt", "multistart") is None
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, "multistart", {"iteration": 1})
+        with pytest.raises(CheckpointError, match="multistart"):
+            load_checkpoint(path, "balanced")
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        payload = {"version": CHECKPOINT_VERSION + 1, "kind": "multistart", "state": {}}
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path, "multistart")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, "multistart")
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, "multistart", {"big": np.zeros(1000)})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, "multistart")
+
+    def test_unexpected_shape_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError, match="shape"):
+            load_checkpoint(path, "multistart")
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        # overwriting leaves either the old or the new state, and no
+        # stray temporary files
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, "balanced", {"step": 1})
+        save_checkpoint(path, "balanced", {"step": 2})
+        assert load_checkpoint(path, "balanced")["step"] == 2
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "run.ckpt"]
+        assert leftovers == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.ckpt"
+        save_checkpoint(path, "multistart", {"x": 1})
+        assert load_checkpoint(path, "multistart") == {"x": 1}

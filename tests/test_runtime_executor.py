@@ -1,0 +1,157 @@
+"""Tests for resilient_map and the map_subproblems edge cases."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.filtering.executor import map_subproblems
+from repro.runtime import FaultPlan, RunBudget, resilient_map
+from repro.runtime.executor import DEGRADATION_ORDER
+
+from .test_runtime_budget import FakeClock
+
+
+def double(x):
+    return x * 2
+
+
+def slow_if_odd(x):
+    if x % 2:
+        time.sleep(5.0)
+    return x
+
+
+class TestMapSubproblemsEdgeCases:
+    def test_empty_items_short_circuit(self):
+        for executor in ("serial", "threads", "processes"):
+            assert map_subproblems(double, [], executor=executor) == []
+
+    def test_workers_zero_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            map_subproblems(double, [1, 2], executor="threads", workers=0)
+
+    def test_workers_negative_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            map_subproblems(double, [1, 2], executor="processes", workers=-3)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            map_subproblems(double, [1], executor="gpu")
+
+    def test_tiny_input_processes(self):
+        # chunksize must stay >= 1 for inputs far smaller than 64
+        assert map_subproblems(double, [1, 2, 3], executor="processes", workers=2) == [2, 4, 6]
+
+
+class TestResilientMapSerial:
+    def test_clean_run(self):
+        results, report = resilient_map(double, list(range(10)), "serial")
+        assert results == [2 * i for i in range(10)]
+        assert report.succeeded == 10
+        assert not report.any_incident()
+
+    def test_empty_items(self):
+        results, report = resilient_map(double, [], "serial")
+        assert results == []
+        assert report.items == 0
+
+    def test_retry_then_succeed(self):
+        plan = FaultPlan(seed=1, failure_rate=0.5, max_attempt=0)
+        results, report = resilient_map(
+            double, list(range(30)), "serial",
+            fault_plan=plan, max_retries=2, backoff_base=0.0,
+        )
+        assert results == [2 * i for i in range(30)]
+        assert report.retries > 0
+        assert report.skipped == 0
+
+    def test_exhausted_retries_skip(self):
+        plan = FaultPlan(seed=1, failure_rate=0.5, max_attempt=5)
+        results, report = resilient_map(
+            double, list(range(30)), "serial",
+            fault_plan=plan, max_retries=1, backoff_base=0.0,
+        )
+        n_none = sum(r is None for r in results)
+        assert n_none > 0
+        assert report.skipped == n_none
+        assert report.succeeded == 30 - n_none
+        assert report.error_samples  # bounded sample retained
+
+    def test_deterministic_reports(self):
+        plan = FaultPlan(seed=2, failure_rate=0.4, max_attempt=0)
+        _, r1 = resilient_map(double, list(range(20)), "serial",
+                              fault_plan=plan, backoff_base=0.0)
+        _, r2 = resilient_map(double, list(range(20)), "serial",
+                              fault_plan=plan, backoff_base=0.0)
+        assert (r1.retries, r1.skipped, r1.failures) == (r2.retries, r2.skipped, r2.failures)
+
+    def test_deadline_skips_remaining(self):
+        clock = FakeClock()
+        budget = RunBudget(10.0, clock=clock)
+
+        def work(x):
+            clock.advance(3.0)
+            return x
+
+        results, report = resilient_map(work, list(range(10)), "serial", budget=budget)
+        assert report.succeeded + report.deadline_skipped == 10
+        assert report.deadline_skipped > 0
+        assert results[-1] is None
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ValueError):
+            resilient_map(double, [1], "serial", max_retries=-1)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resilient_map(double, [1], "gpu")
+
+
+class TestResilientMapPooled:
+    def test_threads_clean(self):
+        results, report = resilient_map(double, list(range(16)), "threads", workers=4)
+        assert results == [2 * i for i in range(16)]
+        assert report.final_executor == "threads"
+
+    def test_timeout_counts_and_skips(self):
+        results, report = resilient_map(
+            slow_if_odd, list(range(6)), "threads", workers=6,
+            timeout=0.5, max_retries=0, backoff_base=0.0,
+        )
+        assert [results[i] for i in range(0, 6, 2)] == [0, 2, 4]
+        assert all(results[i] is None for i in range(1, 6, 2))
+        assert report.timeouts == 3
+        assert report.skipped == 3
+
+    def test_processes_unpicklable_degrades(self):
+        # a lambda cannot cross a process boundary: the executor must
+        # degrade to threads (or serial) and still produce every result
+        results, report = resilient_map(lambda x: x + 1, list(range(8)), "processes", workers=2)
+        assert results == [i + 1 for i in range(8)]
+        assert report.executor_degradations >= 1
+        assert report.final_executor in ("threads", "serial")
+
+    def test_processes_crash_degrades(self):
+        # ~40% of first-attempt workers call os._exit -> BrokenProcessPool
+        plan = FaultPlan(seed=3, crash_rate=0.4, max_attempt=0, sites=("process",))
+        results, report = resilient_map(
+            double, list(range(12)), "processes", workers=2,
+            fault_plan=plan, max_retries=1, backoff_base=0.0,
+        )
+        assert results == [2 * i for i in range(12)]
+        assert report.executor_degradations >= 1
+        assert report.final_executor in ("threads", "serial")
+
+    def test_worker_faults_in_threads_retry(self):
+        plan = FaultPlan(seed=4, failure_rate=0.5, max_attempt=0)
+        results, report = resilient_map(
+            double, list(range(20)), "threads", workers=4,
+            fault_plan=plan, max_retries=2, backoff_base=0.0,
+        )
+        assert results == [2 * i for i in range(20)]
+        assert report.retries > 0
+
+    def test_degradation_order_constant(self):
+        assert DEGRADATION_ORDER == ("processes", "threads", "serial")

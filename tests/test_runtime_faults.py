@@ -1,0 +1,79 @@
+"""Tests for the deterministic fault-injection plan."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.runtime import FaultPlan, InjectedFault
+
+
+class TestFaultPlan:
+    def test_deterministic(self):
+        plan = FaultPlan(seed=42, failure_rate=0.5)
+        decisions = [plan.should_fail("flow", k, 0) for k in range(200)]
+        again = [plan.should_fail("flow", k, 0) for k in range(200)]
+        assert decisions == again
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan(seed=1, failure_rate=0.3)
+        hits = sum(plan.should_fail("worker", k, 0) for k in range(1000))
+        assert 200 < hits < 400  # ~300 expected
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, failure_rate=0.5)
+        b = FaultPlan(seed=2, failure_rate=0.5)
+        da = [a.should_fail("flow", k, 0) for k in range(100)]
+        db = [b.should_fail("flow", k, 0) for k in range(100)]
+        assert da != db
+
+    def test_sites_independent(self):
+        plan = FaultPlan(seed=3, failure_rate=0.5)
+        flow = [plan.should_fail("flow", k, 0) for k in range(100)]
+        worker = [plan.should_fail("worker", k, 0) for k in range(100)]
+        assert flow != worker
+
+    def test_max_attempt_gates_retries(self):
+        plan = FaultPlan(seed=4, failure_rate=1.0, max_attempt=0)
+        assert plan.should_fail("flow", 0, 0)
+        assert not plan.should_fail("flow", 0, 1)  # retry succeeds
+
+    def test_sites_filter(self):
+        plan = FaultPlan(seed=5, failure_rate=1.0, sites=("flow",))
+        assert plan.should_fail("flow", 0, 0)
+        assert not plan.should_fail("worker", 0, 0)
+
+    def test_apply_raises_injected_fault(self):
+        plan = FaultPlan(seed=6, failure_rate=1.0)
+        with pytest.raises(InjectedFault):
+            plan.apply("flow", 0, 0)
+
+    def test_zero_rates_never_fire(self):
+        plan = FaultPlan(seed=7)
+        for k in range(50):
+            plan.apply("flow", k, 0)  # must not raise
+        assert plan.delay("flow", 0, 0) == 0.0
+        assert not plan.should_crash("process", 0, 0)
+
+    def test_delay_schedule(self):
+        plan = FaultPlan(seed=8, delay_rate=0.5, delay_seconds=1.5)
+        delays = [plan.delay("worker", k, 0) for k in range(100)]
+        assert set(delays) == {0.0, 1.5}
+        assert 20 < sum(d > 0 for d in delays) < 80
+
+    def test_picklable(self):
+        plan = FaultPlan(seed=9, failure_rate=0.25, sites=("flow", "worker"))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert [clone.should_fail("flow", k, 0) for k in range(50)] == [
+            plan.should_fail("flow", k, 0) for k in range(50)
+        ]
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(delay_seconds=-1)
