@@ -10,10 +10,11 @@ a few cells.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Set, Tuple
 
 import numpy as np
 
+from ..graph.csr import gather_csr_rows
 from ..graph.graph import Graph
 
 __all__ = ["PartitionState"]
@@ -30,6 +31,14 @@ class PartitionState:
         _, dense = np.unique(labels, return_inverse=True)
         self.labels = dense.astype(np.int64)
         self.next_cell_id = int(dense.max()) + 1 if g.n else 0
+
+        # per-cell adjacency cache (see cell_adjacency) and the stamped
+        # fragment -> unit workspace used by build_aux_instance; both are
+        # pure acceleration state, invisible to the partition semantics
+        self._cell_adj: Dict[int, Tuple[np.ndarray, ...]] = {}
+        self._frag_unit = np.zeros(g.n, dtype=np.int64)
+        self._frag_stamp = np.zeros(g.n, dtype=np.int64)
+        self._stamp_clock = 0
 
         self.cell_members: Dict[int, List[int]] = {}
         for v, c in enumerate(self.labels):
@@ -72,6 +81,33 @@ class PartitionState:
         return max(self.cell_size.values(), default=0)
 
     # ------------------------------------------------------------------
+    def cell_adjacency(
+        self, c: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened incidence of cell ``c``: ``(mem, vv, loc, ys, ws)``.
+
+        ``mem`` are the cell's fragments (membership order); the remaining
+        arrays cover every half-edge leaving a member, in CSR order:
+        ``vv`` the source fragment, ``loc`` its index within ``mem``, ``ys``
+        the neighbor fragment, ``ws`` the edge weight.  Cell membership is
+        immutable (cells are only ever created or destroyed), so the arrays
+        are cached until :meth:`replace_cells` destroys the cell.
+        """
+        cached = self._cell_adj.get(c)
+        if cached is not None:
+            return cached
+        g = self.g
+        mem = np.asarray(self.cell_members[c], dtype=np.int64)
+        counts = g.xadj[mem + 1] - g.xadj[mem]
+        vv = np.repeat(mem, counts)
+        loc = np.repeat(np.arange(len(mem), dtype=np.int64), counts)
+        ys = gather_csr_rows(g.xadj, g.adjncy, mem).astype(np.int64)
+        ws = gather_csr_rows(g.xadj, g.half_edge_weights(), mem)
+        entry = (mem, vv, loc, ys, ws)
+        self._cell_adj[c] = entry
+        return entry
+
+    # ------------------------------------------------------------------
     def replace_cells(
         self, destroyed: Set[int], new_cells: Dict[int, List[int]]
     ) -> None:
@@ -90,13 +126,14 @@ class PartitionState:
         if old_frags != new_frags:
             raise ValueError("replacement does not cover the same fragments")
 
-        # drop destroyed rows and their mirror entries
+        # drop destroyed rows, their mirror entries, and their cached arrays
         for c in destroyed:
             for d in self.H.pop(c, {}):
                 if d not in destroyed:
                     self.H[d].pop(c, None)
             del self.cell_members[c]
             del self.cell_size[c]
+            self._cell_adj.pop(c, None)
 
         for c, mem in new_cells.items():
             self.cell_members[c] = list(mem)
@@ -105,16 +142,24 @@ class PartitionState:
                 self.labels[v] = c
             self.H.setdefault(c, {})
 
-        # rebuild rows of the new cells from the fragment graph
-        xadj, adjncy, eidw = g.xadj, g.adjncy, g.ewgt[g.eid]
-        for c, mem in new_cells.items():
+        # rebuild rows of the new cells from the fragment graph (this also
+        # warms the adjacency cache for the cells the search just created);
+        # first-occurrence key order and per-key accumulation order match the
+        # scalar half-edge walk: bincount sums bins in input order, and the
+        # stable argsort of first-occurrence indices restores key order
+        for c in new_cells:
+            _, _, _, ys, ws = self.cell_adjacency(c)
+            ds = self.labels[ys]
+            sel = ds != c
+            ds = ds[sel]
             row: Dict[int, float] = {}
-            for v in mem:
-                lo, hi = xadj[v], xadj[v + 1]
-                for y, w in zip(adjncy[lo:hi], eidw[lo:hi]):
-                    d = int(self.labels[y])
-                    if d != c:
-                        row[d] = row.get(d, 0.0) + float(w)
+            if len(ds):
+                uniq, idx, inv = np.unique(ds, return_index=True, return_inverse=True)
+                sums = np.bincount(inv, weights=ws[sel])
+                order = np.argsort(idx, kind="stable")
+                row = {
+                    int(uniq[i]): float(sums[i]) for i in order
+                }
             self.H[c] = row
             for d, w in row.items():
                 self.H[d][c] = w

@@ -52,12 +52,15 @@ class _RandomBuffer:
 
 
 def adjacency_of_graph(g: Graph) -> List[Dict[int, float]]:
-    """Adjacency as a list of ``{neighbor: weight}`` dicts."""
+    """Adjacency as a list of ``{neighbor: weight}`` dicts.
+
+    Iterates the edge arrays as plain Python scalars (one ``tolist`` each
+    instead of ``3m`` NumPy scalar extractions); dict insertion order is the
+    edge order, same as the per-edge indexing loop it replaces.
+    """
     adj: List[Dict[int, float]] = [dict() for _ in range(g.n)]
-    for e in range(g.m):
-        u = int(g.edge_u[e])
-        v = int(g.edge_v[e])
-        w = float(g.ewgt[e])
+    eu, ev, ew = g.edges_arrays()
+    for u, v, w in zip(eu.tolist(), ev.tolist(), ew.tolist()):
         adj[u][v] = w
         adj[v][u] = w
     return adj

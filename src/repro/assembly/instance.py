@@ -11,6 +11,14 @@ a variant (paper Fig. 3):
 Edges to cells outside the instance contribute the same amount to the cut no
 matter how the instance is repartitioned, so they are omitted; the step
 compares only the *internal* cost before and after re-running the greedy.
+
+The production builder assembles the instance from the per-cell adjacency
+arrays cached on :class:`~repro.assembly.cells.PartitionState` (one mask
+over the cells' flattened incidence instead of a Python loop per half-edge)
+and is bit-identical to the retained scalar
+:func:`build_aux_instance_reference` — including the *order* of the edge
+list, which the greedy's RNG consumption depends on through the
+adjacency-dict insertion order.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import numpy as np
 
 from .cells import PartitionState
 
-__all__ = ["AuxInstance", "build_aux_instance"]
+__all__ = ["AuxInstance", "build_aux_instance", "build_aux_instance_reference"]
 
 
 @dataclass
@@ -31,30 +39,40 @@ class AuxInstance:
 
     ``unit_frags[i]`` lists the fragments behind unit ``i`` (a single
     fragment for uncontracted units, a whole cell for contracted ones);
-    ``unit_cell[i]`` is the current cell of unit ``i``.  ``edges`` is the
-    internal (unit, unit, weight) list; ``uncontracted`` flags units that
-    are single fragments from uncontracted cells.
+    ``unit_cell[i]`` is the current cell of unit ``i``.  The internal edges
+    are stored as flat arrays ``edge_a/edge_b/edge_w`` (the legacy ``edges``
+    tuple view remains available); ``uncontracted`` flags units that are
+    single fragments from uncontracted cells.
     """
 
     unit_sizes: np.ndarray
     unit_frags: List[List[int]]
     unit_cell: np.ndarray
-    edges: List[Tuple[int, int, float]]
+    edge_a: np.ndarray
+    edge_b: np.ndarray
+    edge_w: np.ndarray
     uncontracted: np.ndarray
+
+    @property
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """The internal edges as ``(unit, unit, weight)`` tuples."""
+        return list(zip(self.edge_a.tolist(), self.edge_b.tolist(), self.edge_w.tolist()))
 
     def adjacency(self) -> List[Dict[int, float]]:
         """Adjacency-dict form consumed by the greedy."""
         adj: List[Dict[int, float]] = [dict() for _ in range(len(self.unit_sizes))]
-        for a, b, w in self.edges:
+        for a, b, w in zip(self.edge_a.tolist(), self.edge_b.tolist(), self.edge_w.tolist()):
             adj[a][b] = adj[a].get(b, 0.0) + w
             adj[b][a] = adj[b].get(a, 0.0) + w
         return adj
 
     def internal_cost(self, unit_groups: np.ndarray) -> float:
         """Cut weight inside the instance under a unit grouping."""
-        return float(
-            sum(w for a, b, w in self.edges if unit_groups[a] != unit_groups[b])
-        )
+        if len(self.edge_a) == 0:
+            return 0.0
+        unit_groups = np.asarray(unit_groups)
+        cut = unit_groups[self.edge_a] != unit_groups[self.edge_b]
+        return float(self.edge_w[cut].sum())
 
     @property
     def current_internal_cost(self) -> float:
@@ -62,24 +80,134 @@ class AuxInstance:
         return self.internal_cost(self.unit_cell)
 
 
+def _instance_cells(
+    state: PartitionState, R: int, S: int, variant: str
+) -> Tuple[List[int], List[int]]:
+    """The (uncontracted, contracted) cell lists of a pair's instance."""
+    if variant not in ("L2", "L2+", "L2*"):
+        raise ValueError(f"unknown local search variant {variant!r}")
+    neighbors: Set[int] = (set(state.H[R]) | set(state.H[S])) - {R, S}
+    if variant == "L2":
+        return [R, S], []
+    if variant == "L2+":
+        return [R, S], sorted(neighbors)
+    return [R, S] + sorted(neighbors), []  # L2*
+
+
 def build_aux_instance(
     state: PartitionState, R: int, S: int, variant: str
 ) -> AuxInstance:
-    """Build the auxiliary instance for pair ``{R, S}`` under ``variant``."""
-    if variant not in ("L2", "L2+", "L2*"):
-        raise ValueError(f"unknown local search variant {variant!r}")
-    g = state.g
-    neighbors: Set[int] = (set(state.H[R]) | set(state.H[S])) - {R, S}
+    """Build the auxiliary instance for pair ``{R, S}`` under ``variant``.
 
-    if variant == "L2":
-        uncontracted_cells = [R, S]
-        contracted_cells: List[int] = []
-    elif variant == "L2+":
-        uncontracted_cells = [R, S]
-        contracted_cells = sorted(neighbors)
-    else:  # L2*
-        uncontracted_cells = [R, S] + sorted(neighbors)
-        contracted_cells = []
+    Vectorized: units and edges come from the cached per-cell incidence
+    arrays (:meth:`PartitionState.cell_adjacency`); one boolean mask over
+    the flattened half-edges replaces the per-fragment Python loop while
+    preserving the reference edge order exactly.
+    """
+    g = state.g
+    uncontracted_cells, contracted_cells = _instance_cells(state, R, S, variant)
+
+    # stamp the uncontracted fragments with their unit ids
+    state._stamp_clock += 1
+    clock = state._stamp_clock
+    frag_unit, frag_stamp = state._frag_unit, state._frag_stamp
+    per_cell = [state.cell_adjacency(c) for c in uncontracted_cells]
+    base = 0
+    bases: List[int] = []
+    for (mem, _, _, _, _) in per_cell:
+        frag_unit[mem] = np.arange(base, base + len(mem), dtype=np.int64)
+        frag_stamp[mem] = clock
+        bases.append(base)
+        base += len(mem)
+    n_unc = base
+
+    unit_sizes = np.concatenate(
+        [g.vsize[mem] for (mem, _, _, _, _) in per_cell]
+        + [np.asarray([state.cell_size[c] for c in contracted_cells], dtype=np.int64)]
+    ).astype(np.int64)
+    unit_frags: List[List[int]] = []
+    for (mem, _, _, _, _) in per_cell:
+        unit_frags.extend([int(v)] for v in mem)
+    for c in contracted_cells:
+        unit_frags.append(list(state.cell_members[c]))
+    unit_cell = np.concatenate(
+        [
+            np.full(len(mem), c, dtype=np.int64)
+            for c, (mem, _, _, _, _) in zip(uncontracted_cells, per_cell)
+        ]
+        + [np.asarray(contracted_cells, dtype=np.int64)]
+    )
+    uncontracted_flags = np.zeros(len(unit_sizes), dtype=bool)
+    uncontracted_flags[:n_unc] = True
+
+    # internal edges touching an uncontracted fragment: one pass over the
+    # concatenated incidence of the uncontracted cells, in CSR order (the
+    # same order the scalar reference walks)
+    vv = np.concatenate([p[1] for p in per_cell]) if per_cell else np.empty(0, np.int64)
+    aa = np.concatenate(
+        [p[2] + b for p, b in zip(per_cell, bases)]
+    ) if per_cell else np.empty(0, np.int64)
+    yy = np.concatenate([p[3] for p in per_cell]) if per_cell else np.empty(0, np.int64)
+    ww = np.concatenate([p[4] for p in per_cell]) if per_cell else np.empty(0, np.float64)
+
+    in_frag = frag_stamp[yy] == clock
+    if contracted_cells:
+        contr = np.asarray(contracted_cells, dtype=np.int64)  # sorted
+        lab_y = state.labels[yy]
+        ci = np.searchsorted(contr, lab_y)
+        ci = np.minimum(ci, len(contr) - 1)
+        cell_hit = contr[ci] == lab_y
+        b_cell = n_unc + ci
+    else:
+        cell_hit = np.zeros(len(yy), dtype=bool)
+        b_cell = np.zeros(len(yy), dtype=np.int64)
+    b_unit = np.where(in_frag, frag_unit[yy], b_cell)
+    # frag-frag edges count once (from the lower endpoint); frag-cell edges
+    # count for every incident half-edge, as in the reference
+    keep = np.where(in_frag, yy > vv, cell_hit)
+    edge_a = aa[keep]
+    edge_b = b_unit[keep]
+    edge_w = ww[keep]
+
+    # edges between two contracted neighbor cells, from the H view (dict
+    # iteration order preserved — it feeds the greedy's RNG order)
+    if contracted_cells:
+        unit_of_cell = {c: n_unc + i for i, c in enumerate(contracted_cells)}
+        extra_a: List[int] = []
+        extra_b: List[int] = []
+        extra_w: List[float] = []
+        for c in contracted_cells:
+            for d, w in state.H[c].items():
+                if d in unit_of_cell and d > c:
+                    extra_a.append(unit_of_cell[c])
+                    extra_b.append(unit_of_cell[d])
+                    extra_w.append(float(w))
+        if extra_a:
+            edge_a = np.concatenate([edge_a, np.asarray(extra_a, dtype=np.int64)])
+            edge_b = np.concatenate([edge_b, np.asarray(extra_b, dtype=np.int64)])
+            edge_w = np.concatenate([edge_w, np.asarray(extra_w, dtype=np.float64)])
+
+    return AuxInstance(
+        unit_sizes=unit_sizes,
+        unit_frags=unit_frags,
+        unit_cell=unit_cell,
+        edge_a=edge_a.astype(np.int64),
+        edge_b=edge_b.astype(np.int64),
+        edge_w=edge_w.astype(np.float64),
+        uncontracted=uncontracted_flags,
+    )
+
+
+def build_aux_instance_reference(
+    state: PartitionState, R: int, S: int, variant: str
+) -> AuxInstance:
+    """Scalar (half-edge-at-a-time) reference for :func:`build_aux_instance`.
+
+    Retained for equivalence tests and the hot-path benchmark; produces the
+    identical instance, including edge order.
+    """
+    g = state.g
+    uncontracted_cells, contracted_cells = _instance_cells(state, R, S, variant)
 
     unit_sizes: List[int] = []
     unit_frags: List[List[int]] = []
@@ -104,7 +232,7 @@ def build_aux_instance(
 
     # internal edges touching an uncontracted fragment, via the fragment graph
     edges: List[Tuple[int, int, float]] = []
-    xadj, adjncy, eidw = g.xadj, g.adjncy, g.ewgt[g.eid]
+    xadj, adjncy, eidw = g.xadj, g.adjncy, g.half_edge_weights()
     for v, a in unit_of_frag.items():
         lo, hi = xadj[v], xadj[v + 1]
         for y, w in zip(adjncy[lo:hi], eidw[lo:hi]):
@@ -118,7 +246,7 @@ def build_aux_instance(
                 if b is not None:
                     edges.append((a, b, float(w)))
     # edges between two contracted neighbor cells, from the H view
-    for i, c in enumerate(contracted_cells):
+    for c in contracted_cells:
         for d, w in state.H[c].items():
             if d in unit_of_cell and d > c:
                 edges.append((unit_of_cell[c], unit_of_cell[d], float(w)))
@@ -127,6 +255,8 @@ def build_aux_instance(
         unit_sizes=np.asarray(unit_sizes, dtype=np.int64),
         unit_frags=unit_frags,
         unit_cell=np.asarray(unit_cell, dtype=np.int64),
-        edges=edges,
+        edge_a=np.asarray([e[0] for e in edges], dtype=np.int64),
+        edge_b=np.asarray([e[1] for e in edges], dtype=np.int64),
+        edge_w=np.asarray([e[2] for e in edges], dtype=np.float64),
         uncontracted=np.asarray(uncontracted_flags, dtype=bool),
     )

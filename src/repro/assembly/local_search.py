@@ -49,7 +49,9 @@ class _RandomPairSet:
             self.pos[last] = i
 
     def sample(self, rng: np.random.Generator) -> Tuple[int, int]:
-        """One pair uniformly at random."""
+        """One pair uniformly at random; ``IndexError`` when empty."""
+        if not self.items:
+            raise IndexError("sample from an empty pair set")
         return self.items[int(rng.integers(len(self.items)))]
 
     def __len__(self) -> int:
@@ -113,7 +115,8 @@ def local_search(
         pairs: List[Tuple[int, int]] = []
         seen = set()
         for _ in range(min(batch, len(avail)) * 2):
-            if len(pairs) >= min(batch, len(avail)):
+            # stale-pair discards below can empty the set mid-round
+            if not len(avail) or len(pairs) >= min(batch, len(avail)):
                 break
             R, S = avail.sample(rng)
             if (R, S) in seen:
@@ -133,16 +136,19 @@ def local_search(
             groups = greedy_assemble(
                 aux.unit_sizes.copy(), aux.adjacency(), U, rng, score_a, score_b
             )
-            proposals.append((R, S, aux, groups))
+            # the distinct cells this instance references, computed once at
+            # build time instead of per re-validation
+            aux_cells = [int(c) for c in np.unique(aux.unit_cell)]
+            proposals.append((R, S, aux, groups, aux_cells))
 
         # sequential application with re-validation
-        for R, S, aux, groups in proposals:
+        for R, S, aux, groups, aux_cells in proposals:
             if R not in state.H or S not in state.H or S not in state.H[R]:
                 continue  # invalidated by an earlier application this round
             # every cell the (possibly stale) instance references must still
             # exist; cell ids are never reused, so existence implies the
             # membership is exactly what the instance was built from
-            if any(int(c) not in state.cell_members for c in set(aux.unit_cell.tolist())):
+            if any(c not in state.cell_members for c in aux_cells):
                 continue
             stats.steps += 1
             old_internal = aux.current_internal_cost

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.config import AssemblyConfig, RuntimeConfig
 from ..graph.graph import Graph
+from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
 from ..runtime.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .cells import PartitionState
@@ -68,17 +69,19 @@ class MultistartStats:
 def _one_start(
     g: Graph, U: int, cfg: AssemblyConfig, rng: np.random.Generator, stats: MultistartStats
 ) -> Solution:
-    labels = greedy_labels_for_graph(g, U, rng, cfg.score_a, cfg.score_b)
-    state = PartitionState(g, labels)
-    ls = local_search(
-        state,
-        U,
-        variant=cfg.local_search,
-        phi_max=cfg.phi,
-        rng=rng,
-        score_a=cfg.score_a,
-        score_b=cfg.score_b,
-    )
+    with profile_span("assembly.greedy"):
+        labels = greedy_labels_for_graph(g, U, rng, cfg.score_a, cfg.score_b)
+        state = PartitionState(g, labels)
+    with profile_span("assembly.local_search"):
+        ls = local_search(
+            state,
+            U,
+            variant=cfg.local_search,
+            phi_max=cfg.phi,
+            rng=rng,
+            score_a=cfg.score_a,
+            score_b=cfg.score_b,
+        )
     stats.ls_improvements += ls.improvements
     stats.ls_steps += ls.steps
     return Solution.from_labels(g, state.labels, state.cost)
@@ -165,8 +168,9 @@ def multistart(
                 pool.add(p)
             else:
                 p1, p2 = pool.sample_two(rng)
-                p_prime = combine_solutions(g, p1, p2, U, cfg, rng)
-                p_second = combine_solutions(g, p, p_prime, U, cfg, rng)
+                with profile_span("assembly.combine"):
+                    p_prime = combine_solutions(g, p1, p2, U, cfg, rng)
+                    p_second = combine_solutions(g, p, p_prime, U, cfg, rng)
                 stats.combinations += 2
                 pool.add(p_second)
                 pool.add(p_prime)

@@ -39,6 +39,7 @@ from ..core.partition import Partition
 from ..core.result import BalancedResult
 from ..filtering.pipeline import run_filtering
 from ..graph.graph import Graph
+from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
 from ..runtime.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .rebalance import rebalance
@@ -209,19 +210,20 @@ def balanced_from_fragments(
             state = PartitionState(frag, resumed_labels)
             ri0 = reb0
         else:
-            labels = greedy_labels_for_graph(
-                frag, U_star, rng, asm_cfg.score_a, asm_cfg.score_b
-            )
-            state = PartitionState(frag, labels)
-            local_search(
-                state,
-                U_star,
-                variant=asm_cfg.local_search,
-                phi_max=asm_cfg.phi,
-                rng=rng,
-                score_a=asm_cfg.score_a,
-                score_b=asm_cfg.score_b,
-            )
+            with profile_span("balanced.unbalanced_start"):
+                labels = greedy_labels_for_graph(
+                    frag, U_star, rng, asm_cfg.score_a, asm_cfg.score_b
+                )
+                state = PartitionState(frag, labels)
+                local_search(
+                    state,
+                    U_star,
+                    variant=asm_cfg.local_search,
+                    phi_max=asm_cfg.phi,
+                    rng=rng,
+                    score_a=asm_cfg.score_a,
+                    score_b=asm_cfg.score_b,
+                )
             unbalanced_costs.append(state.cost)
             ri0 = 0
             if ckpt:
@@ -237,15 +239,16 @@ def balanced_from_fragments(
                 deadline_expired = True
                 break
             attempts += 1
-            out = rebalance(
-                frag,
-                state.labels,
-                k,
-                U_star,
-                config.assembly,
-                config.phi_rebalance,
-                rng,
-            )
+            with profile_span("balanced.rebalance"):
+                out = rebalance(
+                    frag,
+                    state.labels,
+                    k,
+                    U_star,
+                    config.assembly,
+                    config.phi_rebalance,
+                    rng,
+                )
             if out.success:
                 if out.cost < best_cost:
                     best_cost = out.cost

@@ -59,6 +59,28 @@ def _add_runtime_flags(sp) -> None:
         default=2,
         help="extra attempts per failed min-cut subproblem (default 2)",
     )
+    sp.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-phase wall/CPU timings and print the breakdown",
+    )
+
+
+def _enable_profiling(args):
+    """Turn on the global phase profiler when ``--profile`` was given."""
+    if not getattr(args, "profile", False):
+        return None
+    from .perf.timers import get_profiler
+
+    prof = get_profiler()
+    prof.reset()
+    prof.enabled = True
+    return prof
+
+
+def _print_profile(prof) -> None:
+    if prof is not None:
+        print(prof.report())
 
 
 def _load_graph(path: str):
@@ -127,9 +149,11 @@ def cmd_partition(args) -> int:
         runtime=_runtime_from_args(args),
         seed=args.seed,
     )
+    prof = _enable_profiling(args)
     res = run_punch(g, args.U, cfg)
     print(res.summary())
     print(f"cells connected: {res.partition.all_cells_connected()}")
+    _print_profile(prof)
     if args.output:
         _write_labels(res.partition.labels, args.output)
         print(f"wrote labels to {args.output}")
@@ -148,8 +172,10 @@ def cmd_balanced(args) -> int:
         runtime=_runtime_from_args(args),
         seed=args.seed,
     )
+    prof = _enable_profiling(args)
     res = run_balanced_punch(g, args.k, args.epsilon, cfg)
     print(res.summary())
+    _print_profile(prof)
     if args.output:
         _write_labels(res.partition.labels, args.output)
         print(f"wrote labels to {args.output}")

@@ -78,6 +78,10 @@ class FilterConfig:
     flow_solver: str = "push_relabel"
     executor: str = "serial"
     workers: Optional[int] = None
+    # memoize min-cut solves by network fingerprint (bit-identical reuse;
+    # see src/repro/perf/cut_cache.py)
+    use_cut_cache: bool = True
+    cut_cache_entries: int = 65536
 
     def __post_init__(self) -> None:
         if not (0 < self.alpha <= 1):
@@ -86,6 +90,8 @@ class FilterConfig:
             raise ValueError("f must be > 1")
         if self.coverage < 1:
             raise ValueError("coverage must be >= 1")
+        if self.cut_cache_entries < 1:
+            raise ValueError("cut_cache_entries must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -72,6 +72,8 @@ class PunchResult:
             f"{self.time_assembly:.1f}s"
         )
         incidents = self.run_report()
+        # the cut-cache counters are informational, not an incident
+        incidents.pop("cut_cache", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
             line += f" [resilience: {detail}]"
@@ -125,6 +127,7 @@ class BalancedResult:
             f"(U*={self.U_star}), time={self.time_total:.1f}s"
         )
         incidents = self.run_report()
+        incidents.pop("cut_cache", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
             line += f" [resilience: {detail}]"

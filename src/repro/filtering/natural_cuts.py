@@ -40,10 +40,12 @@ import numpy as np
 from ..core.config import RuntimeConfig
 from ..graph.graph import Graph
 from ..graph.traversal import BFSWorkspace, grow_bfs_region
+from ..perf.cut_cache import CutCache
+from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
 from ..runtime.executor import resilient_map
 from ..runtime.faults import FaultPlan
-from .cut_problem import CutProblem, build_cut_problem, solve_cut_problem
+from .cut_problem import CutProblem, build_cut_problem, solve_cut_problem_sides
 
 __all__ = ["NaturalCutStats", "detect_natural_cuts", "collect_cut_problems", "SOLVER_FALLBACKS"]
 
@@ -76,6 +78,9 @@ class NaturalCutStats:
     deadline_skipped: int = 0  # subproblems never solved (budget expired)
     solver_fallbacks: int = 0  # solves that succeeded on a fallback solver
     executor_degradations: int = 0  # processes -> threads -> serial demotions
+    # cut-cache accounting (src/repro/perf/cut_cache.py)
+    cache_hits: int = 0  # subproblems answered from the CutCache
+    cache_misses: int = 0  # subproblems that required a fresh solve
     final_executor: str = "serial"  # tier that finished the work
     deadline_expired: bool = False  # detection stopped early on the budget
     error_samples: List[str] = field(default_factory=list)
@@ -149,10 +154,14 @@ def _solve_one(
 ) -> tuple[float, np.ndarray, int]:
     """Solve one subproblem, falling back along the solver chain.
 
-    Returns ``(cut_value, cut_edge_ids, fallbacks_used)``.  Fault injection
-    at the ``"flow"`` site is keyed by the problem's center and the position
-    in the solver chain, so a plan with ``max_attempt=0`` fails the primary
-    solver and lets the first fallback succeed.
+    Returns ``(cut_value, source_side_mask, fallbacks_used)``.  The mask is
+    over the problem's *local* vertices — the driver recovers original cut
+    edges via :meth:`CutProblem.cut_edges_of_side` — so the result can also
+    be stored in the :class:`~repro.perf.cut_cache.CutCache` and reused for
+    any problem with the same network fingerprint.  Fault injection at the
+    ``"flow"`` site is keyed by the problem's center and the position in the
+    solver chain, so a plan with ``max_attempt=0`` fails the primary solver
+    and lets the first fallback succeed.
     """
     chain = (solver,) + tuple(
         s for s in SOLVER_FALLBACKS.get(solver, ()) if s != solver
@@ -162,8 +171,8 @@ def _solve_one(
         try:
             if fault_plan is not None:
                 fault_plan.apply("flow", problem.center, pos)
-            value, cut_edges = solve_cut_problem(problem, candidate)
-            return value, cut_edges, pos
+            value, side = solve_cut_problem_sides(problem, candidate)
+            return value, side, pos
         except Exception as exc:  # noqa: BLE001 - resilience boundary
             last_exc = exc
     assert last_exc is not None
@@ -182,6 +191,7 @@ def detect_natural_cuts(
     workers: int | None = None,
     runtime: RuntimeConfig | None = None,
     budget: RunBudget | None = None,
+    cut_cache: CutCache | None = None,
 ) -> tuple[np.ndarray, NaturalCutStats]:
     """Run ``C`` coverage sweeps; returns ``(cut_edge_ids, stats)``.
 
@@ -191,6 +201,14 @@ def detect_natural_cuts(
     ``runtime`` configures timeouts, retries, and fault injection;
     ``budget`` (or ``runtime.time_budget``) bounds wall-clock time — on
     expiry the cuts marked so far are returned instead of raising.
+
+    ``cut_cache`` memoizes solves by network fingerprint: subproblems whose
+    contracted flow network was already solved reuse the cached
+    ``(value, source side)`` instead of running the flow solver again.  The
+    cache is consulted and populated in the driver thread, so it composes
+    with every executor tier.  A hit is bit-identical to a fresh solve
+    (equal fingerprints imply identical networks), so caching never changes
+    the detected cuts.
     """
     rng = np.random.default_rng() if rng is None else rng
     runtime = RuntimeConfig() if runtime is None else runtime
@@ -199,28 +217,51 @@ def detect_natural_cuts(
     stats = NaturalCutStats()
     stats.final_executor = executor
     marked = np.zeros(g.m, dtype=bool)
+
+    def account(problem: CutProblem, value: float, side: np.ndarray, fallbacks: int) -> None:
+        stats.problems_solved += 1
+        stats.total_cut_value += value
+        stats.cut_values.append(float(value))
+        if fallbacks:
+            stats.solver_fallbacks += 1
+        marked[problem.cut_edges_of_side(side)] = True
+
     for _ in range(max(1, int(C))):
         if budget is not None and budget.checkpoint("natural_cuts_sweep"):
             stats.deadline_expired = True
             break
-        problems = collect_cut_problems(g, U, alpha, f, rng, stats, budget=budget)
+        with profile_span("natural_cuts.collect"):
+            problems = collect_cut_problems(g, U, alpha, f, rng, stats, budget=budget)
+        if cut_cache is not None:
+            pending = []
+            for prob in problems:
+                entry = cut_cache.get(prob.fingerprint())
+                if entry is None:
+                    pending.append(prob)
+                else:
+                    account(prob, entry[0], entry[1], 0)
+            stats.cache_hits += len(problems) - len(pending)
+            stats.cache_misses += len(pending)
+        else:
+            pending = problems
         # functools.partial of a module-level function stays picklable for
         # the "processes" executor (a lambda would not)
         solve = functools.partial(_solve_one, solver=solver, fault_plan=runtime.fault_plan)
-        results, report = resilient_map(
-            solve,
-            problems,
-            executor=executor,
-            workers=workers,
-            timeout=runtime.subproblem_timeout,
-            max_retries=runtime.max_retries,
-            backoff_base=runtime.backoff_base,
-            backoff_max=runtime.backoff_max,
-            backoff_jitter=runtime.backoff_jitter,
-            seed=runtime.retry_seed,
-            budget=budget,
-            fault_plan=runtime.fault_plan,
-        )
+        with profile_span("natural_cuts.solve"):
+            results, report = resilient_map(
+                solve,
+                pending,
+                executor=executor,
+                workers=workers,
+                timeout=runtime.subproblem_timeout,
+                max_retries=runtime.max_retries,
+                backoff_base=runtime.backoff_base,
+                backoff_max=runtime.backoff_max,
+                backoff_jitter=runtime.backoff_jitter,
+                seed=runtime.retry_seed,
+                budget=budget,
+                fault_plan=runtime.fault_plan,
+            )
         stats.retries += report.retries
         stats.timeouts += report.timeouts
         stats.skipped += report.skipped
@@ -230,16 +271,13 @@ def detect_natural_cuts(
         for msg in report.error_samples:
             if len(stats.error_samples) < 8:
                 stats.error_samples.append(msg)
-        for out in results:
+        for prob, out in zip(pending, results):
             if out is None:
                 continue  # skipped subproblem: its cuts are simply not marked
-            value, cut_edges, fallbacks = out
-            stats.problems_solved += 1
-            stats.total_cut_value += value
-            stats.cut_values.append(float(value))
-            if fallbacks:
-                stats.solver_fallbacks += 1
-            marked[cut_edges] = True
+            value, side, fallbacks = out
+            account(prob, value, side, fallbacks)
+            if cut_cache is not None:
+                cut_cache.put(prob.fingerprint(), value, side)
     if budget is not None and budget.expired():
         stats.deadline_expired = True
     cut_ids = np.flatnonzero(marked).astype(np.int64)

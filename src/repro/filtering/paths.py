@@ -10,6 +10,15 @@ vertex; pure cycles (a whole component of degree-2 vertices) are handled as
 well.  With ``chunk_large=True`` an oversized chain is greedily cut into
 consecutive pieces of size at most ``U`` instead of being skipped — a strict
 generalization we keep off by default to match the paper.
+
+The production scan is vectorized: chain membership comes from one connected
+-components call on the degree-2 subgraph, and the per-chain representative
+(the scalar walk's ``chain[0]``) is recovered by stepping *all* chains
+simultaneously, one frontier-at-a-time step per iteration.  It is
+bit-identical to the retained scalar reference
+(:func:`degree_two_labels_reference`) — same groups, same representatives,
+same counters.  ``chunk_large=True`` needs the full path order and keeps
+using the scalar walk.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import numpy as np
 
 from ..graph.graph import Graph
 
-__all__ = ["degree_two_labels", "PathStats"]
+__all__ = ["degree_two_labels", "degree_two_labels_reference", "PathStats"]
 
 
 @dataclass
@@ -57,10 +66,107 @@ def _walk(g: Graph, start: int, deg2: np.ndarray, visited: np.ndarray) -> List[i
     return chain
 
 
+def _chain_representatives(g: Graph, deg2: np.ndarray, starts: np.ndarray,
+                           is_cycle: np.ndarray) -> np.ndarray:
+    """The scalar walk's ``chain[0]`` for every chain, batch-walked.
+
+    The scalar scan starts each chain at its minimum-id member and walks
+    toward ``neighbors(start)[1]``; ``chain[0]`` is the last degree-2 vertex
+    reached in that direction (or ``start`` itself when that direction
+    immediately leaves the chain, or for cycles).  All walks advance in
+    lockstep — chains are vertex-disjoint, so they never interfere.
+    """
+    xadj, adjncy = g.xadj, g.adjncy
+    reps = starts.copy()
+    # second neighbor of each start (every degree-2 vertex has exactly two)
+    n1 = adjncy[xadj[starts] + 1].astype(np.int64)
+    walking = deg2[n1] & ~is_cycle
+    # cur/prev per active walk; `at` indexes back into reps
+    at = np.flatnonzero(walking)
+    cur = n1[at]
+    prev = starts[at]
+    while len(at):
+        nb0 = adjncy[xadj[cur]].astype(np.int64)
+        nb1 = adjncy[xadj[cur] + 1].astype(np.int64)
+        nxt = np.where(nb0 == prev, nb1, nb0)
+        done = ~deg2[nxt]  # cur is the endpoint on this side
+        if done.any():
+            reps[at[done]] = cur[done]
+        cont = ~done
+        at, prev, cur = at[cont], cur[cont], nxt[cont]
+    return reps
+
+
 def degree_two_labels(
     g: Graph, U: int, chunk_large: bool = False
 ) -> tuple[np.ndarray, PathStats]:
     """Compute contraction labels for pass 2. Returns ``(labels, stats)``."""
+    if chunk_large:
+        # chunking needs the exact path order of every chain; the scalar
+        # walk provides it and this mode is off by default
+        return degree_two_labels_reference(g, U, chunk_large=True)
+
+    labels = np.arange(g.n, dtype=np.int64)
+    stats = PathStats()
+    deg2 = g.degrees == 2
+    members = np.flatnonzero(deg2)
+    if len(members) == 0:
+        return labels, stats
+
+    # chain membership: connected components of the degree-2 subgraph
+    emask = deg2[g.edge_u] & deg2[g.edge_v]
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components as cc
+
+    eu = g.edge_u[emask]
+    ev = g.edge_v[emask]
+    sub = csr_matrix(
+        (np.ones(2 * len(eu), dtype=np.int8),
+         (np.concatenate([eu, ev]), np.concatenate([ev, eu]))),
+        shape=(g.n, g.n),
+    )
+    _, comp_all = cc(sub, directed=False)
+    comp = comp_all[members]  # component id per degree-2 vertex
+    # densify component ids over the degree-2 vertices only
+    uniq, comp = np.unique(comp, return_inverse=True)
+    n_chains = len(uniq)
+
+    # per-chain: min-id member (the scalar scan's start), total size,
+    # member count, and whether the chain is a pure cycle (#edges == #verts)
+    order = np.argsort(comp, kind="stable")  # members ascending within chains
+    sorted_members = members[order]
+    counts = np.bincount(comp, minlength=n_chains)
+    first = np.cumsum(counts) - counts
+    starts = sorted_members[first]  # members is ascending, so first = min id
+    sizes = np.bincount(comp, weights=g.vsize[members], minlength=n_chains)
+    # map subgraph edges to dense chain ids (every such edge joins two
+    # degree-2 vertices, hence lies inside one chain)
+    edge_chain = np.searchsorted(uniq, comp_all[eu])
+    edge_counts = np.bincount(edge_chain, minlength=n_chains)
+    is_cycle = edge_counts >= counts
+
+    reps = _chain_representatives(g, deg2, starts, is_cycle)
+
+    contract = sizes <= U
+    stats.chains_found = int(n_chains)
+    stats.chains_contracted = int(np.count_nonzero(contract))
+    stats.chains_skipped = int(n_chains - stats.chains_contracted)
+    stats.vertices_removed = int((counts[contract] - 1).sum())
+
+    # label every member of a contracted chain with its representative
+    member_contract = contract[comp]
+    labels[members[member_contract]] = reps[comp[member_contract]]
+    return labels, stats
+
+
+def degree_two_labels_reference(
+    g: Graph, U: int, chunk_large: bool = False
+) -> tuple[np.ndarray, PathStats]:
+    """Scalar (walk-at-a-time) reference for :func:`degree_two_labels`.
+
+    Retained for equivalence tests, the hot-path benchmark, and the
+    ``chunk_large`` mode (which needs full path order).
+    """
     labels = np.arange(g.n, dtype=np.int64)
     stats = PathStats()
     deg = g.degrees

@@ -18,6 +18,8 @@ import numpy as np
 from ..core.config import FilterConfig, RuntimeConfig
 from ..graph.contraction import ContractionChain
 from ..graph.graph import Graph
+from ..perf.cut_cache import CutCache
+from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
 from .fragments import FragmentStats, fragment_labels
 from .natural_cuts import NaturalCutStats, detect_natural_cuts
@@ -62,7 +64,22 @@ class FilterResult:
             report["tiny_passes_run"] = self.tiny_stats.passes_run
         if self.natural_stats is not None:
             report.update(self.natural_stats.incidents())
+        cache = self.cache_report()
+        if cache:
+            report["cut_cache"] = cache
         return report
+
+    def cache_report(self) -> dict:
+        """Cut-cache counters (empty dict when the cache was disabled)."""
+        ns = self.natural_stats
+        if ns is None or (ns.cache_hits == 0 and ns.cache_misses == 0):
+            return {}
+        total = ns.cache_hits + ns.cache_misses
+        return {
+            "hits": ns.cache_hits,
+            "misses": ns.cache_misses,
+            "hit_rate": ns.cache_hits / total,
+        }
 
 
 def run_filtering(
@@ -93,34 +110,41 @@ def run_filtering(
     tiny_stats = None
     t0 = time.perf_counter()
     if config.detect_tiny_cuts:
-        tiny_stats = run_tiny_cuts(
-            chain,
-            U,
-            tau=config.tau,
-            chunk_large_paths=config.chunk_large_paths,
-            rng=rng,
-            budget=budget,
-        )
+        with profile_span("filter.tiny_cuts"):
+            tiny_stats = run_tiny_cuts(
+                chain,
+                U,
+                tau=config.tau,
+                chunk_large_paths=config.chunk_large_paths,
+                rng=rng,
+                budget=budget,
+            )
     time_tiny = time.perf_counter() - t0
 
     natural_stats = None
     t0 = time.perf_counter()
     if config.detect_natural_cuts:
-        cut_ids, natural_stats = detect_natural_cuts(
-            chain.current,
-            U,
-            alpha=config.alpha,
-            f=config.f,
-            C=config.coverage,
-            rng=rng,
-            solver=config.flow_solver,
-            executor=config.executor,
-            workers=config.workers,
-            runtime=runtime,
-            budget=budget,
+        cut_cache = (
+            CutCache(config.cut_cache_entries) if config.use_cut_cache else None
         )
-        labels, frag_stats = fragment_labels(chain.current, cut_ids, U)
-        chain.apply(labels)
+        with profile_span("filter.natural_cuts"):
+            cut_ids, natural_stats = detect_natural_cuts(
+                chain.current,
+                U,
+                alpha=config.alpha,
+                f=config.f,
+                C=config.coverage,
+                rng=rng,
+                solver=config.flow_solver,
+                executor=config.executor,
+                workers=config.workers,
+                runtime=runtime,
+                budget=budget,
+                cut_cache=cut_cache,
+            )
+        with profile_span("filter.fragments"):
+            labels, frag_stats = fragment_labels(chain.current, cut_ids, U)
+            chain.apply(labels)
     else:
         # without natural cuts, fragments are whatever tiny cuts produced;
         # still enforce the size bound so assembly stays feasible

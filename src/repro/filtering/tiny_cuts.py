@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.contraction import ContractionChain
+from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
 from .onecuts import OneCutStats, one_cut_labels
 from .paths import PathStats, degree_two_labels
@@ -63,8 +64,9 @@ def run_tiny_cuts(
         stats.deadline_expired = True
         stats.n_after_pass1 = stats.n_after_pass2 = stats.n_after_pass3 = chain.current.n
         return stats
-    labels, stats.pass1 = one_cut_labels(chain.current, U, tau=tau)
-    chain.apply(labels)
+    with profile_span("tiny_cuts.pass1_onecuts"):
+        labels, stats.pass1 = one_cut_labels(chain.current, U, tau=tau)
+        chain.apply(labels)
     stats.n_after_pass1 = chain.current.n
     stats.passes_run = 1
 
@@ -72,8 +74,11 @@ def run_tiny_cuts(
         stats.deadline_expired = True
         stats.n_after_pass2 = stats.n_after_pass3 = chain.current.n
         return stats
-    labels, stats.pass2 = degree_two_labels(chain.current, U, chunk_large=chunk_large_paths)
-    chain.apply(labels)
+    with profile_span("tiny_cuts.pass2_paths"):
+        labels, stats.pass2 = degree_two_labels(
+            chain.current, U, chunk_large=chunk_large_paths
+        )
+        chain.apply(labels)
     stats.n_after_pass2 = chain.current.n
     stats.passes_run = 2
 
@@ -81,8 +86,9 @@ def run_tiny_cuts(
         stats.deadline_expired = True
         stats.n_after_pass3 = chain.current.n
         return stats
-    labels, stats.pass3 = two_cut_pass_labels(chain.current, U, rng=rng)
-    chain.apply(labels)
+    with profile_span("tiny_cuts.pass3_twocuts"):
+        labels, stats.pass3 = two_cut_pass_labels(chain.current, U, rng=rng)
+        chain.apply(labels)
     stats.n_after_pass3 = chain.current.n
     stats.passes_run = 3
     return stats

@@ -27,13 +27,56 @@ from typing import Tuple
 
 import numpy as np
 
+from ..graph.csr import gather_csr_rows
 from .network import FlowNetwork
 
-__all__ = ["max_preflow"]
+__all__ = ["max_preflow", "global_relabel_reference"]
 
 
 def _global_relabel(net: FlowNetwork, flow: np.ndarray, s: int, t: int) -> np.ndarray:
-    """Exact residual distances to ``t`` (backward BFS); unreachable -> n."""
+    """Exact residual distances to ``t`` (backward BFS); unreachable -> n.
+
+    Level-synchronous frontier kernel: each distance level expands all of
+    its vertices' incidence lists with one CSR gather.  BFS distances are
+    order-independent, so the output is bit-identical to
+    :func:`global_relabel_reference`.
+    """
+    n = net.n
+    h = np.full(n, n, dtype=np.int64)
+    h[t] = 0
+    adj_start, adj_arcs, arc_to, arc_cap = (
+        net.adj_start,
+        net.adj_arcs,
+        net.arc_to,
+        net.arc_cap,
+    )
+    frontier = np.asarray([t], dtype=np.int64)
+    d = 0
+    while len(frontier):
+        d += 1
+        arcs = gather_csr_rows(adj_start, adj_arcs, frontier)
+        if len(arcs) == 0:
+            break
+        w = arc_to[arcs]
+        # residual arc w -> u exists iff rev(a) = a^1 has residual capacity;
+        # h[t] = 0 already excludes t from the h == n test
+        keep = (h[w] == n) & (arc_cap[arcs ^ 1] - flow[arcs ^ 1] > 0)
+        w = w[keep]
+        if len(w) == 0:
+            break
+        frontier = np.unique(w)
+        h[frontier] = d
+    h[s] = n
+    return h
+
+
+def global_relabel_reference(
+    net: FlowNetwork, flow: np.ndarray, s: int, t: int
+) -> np.ndarray:
+    """Scalar (deque) reference for the backward global-relabel BFS.
+
+    Retained for equivalence tests and the hot-path benchmark.
+    """
     n = net.n
     h = np.full(n, n, dtype=np.int64)
     h[t] = 0
@@ -90,8 +133,7 @@ def max_preflow(
 
     # height occupancy for the gap heuristic
     hcount = np.zeros(2 * n + 1, dtype=np.int64)
-    for v in range(n):
-        hcount[h[v]] += 1
+    hcount[: n + 1] = np.bincount(h, minlength=n + 1)
 
     active: deque = deque()
     in_queue = np.zeros(n, dtype=bool)
@@ -169,8 +211,7 @@ def max_preflow(
                 work = 0.0
                 h = _global_relabel(net, flow, s, t)
                 hcount[:] = 0
-                for u in range(n):
-                    hcount[h[u]] += 1
+                hcount[: n + 1] = np.bincount(h, minlength=n + 1)
                 cur[:] = adj_start[:-1]
                 # rebuild the active queue under the new labels
                 active.clear()

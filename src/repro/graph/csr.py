@@ -1,0 +1,54 @@
+"""Shared NumPy kernels for frontier-at-a-time CSR traversal.
+
+All vectorized hot paths (BFS region growth, backward global relabeling,
+subproblem gathers, the degree-2 chain scan) reduce to two primitives:
+
+- :func:`gather_csr_rows` — concatenate the CSR slices of a batch of rows
+  in row order, without a Python-level loop.  The result order is exactly
+  the order a sequential ``for row: for entry in slice`` loop would visit,
+  which is what keeps the vectorized kernels bit-identical to their
+  scalar references.
+- :func:`stable_unique` — first-occurrence deduplication.  ``np.unique``
+  sorts; a frontier expansion needs the *discovery* order (the order a
+  FIFO queue would append), so duplicates are dropped while the first
+  occurrence keeps its position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gather_csr_rows", "repeat_rows", "stable_unique"]
+
+
+def gather_csr_rows(offsets: np.ndarray, data: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Concatenate ``data[offsets[r] : offsets[r + 1]]`` for each row in order.
+
+    Equivalent to ``np.concatenate([data[offsets[r]:offsets[r+1]] for r in
+    rows])`` but with a single fancy-index gather.
+    """
+    starts = offsets[rows]
+    counts = offsets[rows + np.int64(1)] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return data[:0]
+    # index i of the output maps to starts[r] + (i - first output index of r)
+    shifts = np.cumsum(counts) - counts  # first output index per row
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - shifts, counts)
+    return data[idx]
+
+
+def repeat_rows(offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Each row id repeated once per entry of its CSR slice (aligned with
+    :func:`gather_csr_rows` output)."""
+    counts = offsets[rows + np.int64(1)] - offsets[rows]
+    return np.repeat(rows, counts)
+
+
+def stable_unique(a: np.ndarray) -> np.ndarray:
+    """Deduplicate keeping the first occurrence of each value in place."""
+    if len(a) <= 1:
+        return a
+    _, idx = np.unique(a, return_index=True)
+    idx.sort()
+    return a[idx]

@@ -50,6 +50,7 @@ class Graph:
         "vsize",
         "ewgt",
         "coords",
+        "_half_ewgt",
     )
 
     def __init__(
@@ -73,6 +74,7 @@ class Graph:
         self.vsize = np.ascontiguousarray(vsize, dtype=np.int64)
         self.ewgt = np.ascontiguousarray(ewgt, dtype=np.float64)
         self.coords = None if coords is None else np.asarray(coords, dtype=np.float64)
+        self._half_ewgt: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -133,13 +135,31 @@ class Graph:
         return float(self.ewgt.sum())
 
     def half_edge_weights(self) -> np.ndarray:
-        """Weight of each half-edge (``ewgt`` gathered by ``eid``)."""
-        return self.ewgt[self.eid]
+        """Weight of each half-edge (``ewgt`` gathered by ``eid``).
+
+        The gather is computed once and memoized (graphs are immutable);
+        callers must not mutate the returned array.
+        """
+        if self._half_ewgt is None:
+            self._half_ewgt = self.ewgt[self.eid]
+        return self._half_ewgt
+
+    def edges_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The undirected edge list as ``(edge_u, edge_v, ewgt)`` arrays.
+
+        Vectorized accessor for hot paths; prefer this over the per-edge
+        :meth:`edges` generator.
+        """
+        return self.edge_u, self.edge_v, self.ewgt
 
     def edges(self) -> Iterator[Tuple[int, int, float]]:
-        """Iterate over undirected edges as ``(u, v, w)`` tuples."""
-        for e in range(self.m):
-            yield int(self.edge_u[e]), int(self.edge_v[e]), float(self.ewgt[e])
+        """Iterate over undirected edges as ``(u, v, w)`` tuples.
+
+        Convenience accessor for tests and I/O; hot paths should use
+        :meth:`edges_arrays` instead.
+        """
+        for u, v, w in zip(self.edge_u.tolist(), self.edge_v.tolist(), self.ewgt.tolist()):
+            yield u, v, w
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,6 +9,15 @@ still below ``alpha * U / f``, and the *ring* is the external neighborhood of
 Because thousands of centers are processed per run, the workspace (visit
 stamps) is allocated once and reused: each BFS touches only ``O(|T| + |ring|)``
 cells, never ``O(n)``.
+
+The production kernels are *frontier-at-a-time*: a whole BFS level is
+expanded with one CSR gather, deduplicated in discovery order, and cut at
+the exact vertex where the size bound is reached.  They are bit-identical to
+the retained scalar references (``grow_bfs_region_reference``,
+``bfs_order_reference``) — a FIFO queue appends vertices in exactly the
+order of the concatenated adjacency slices of the previous level, so
+level-synchronous expansion with stable first-occurrence dedup reproduces
+the scalar visit order; see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -17,9 +26,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .csr import gather_csr_rows, stable_unique
 from .graph import Graph
 
-__all__ = ["BFSWorkspace", "BFSRegion", "grow_bfs_region", "bfs_order"]
+__all__ = [
+    "BFSWorkspace",
+    "BFSRegion",
+    "grow_bfs_region",
+    "grow_bfs_region_reference",
+    "bfs_order",
+    "bfs_order_reference",
+]
 
 
 class BFSWorkspace:
@@ -81,8 +98,67 @@ def grow_bfs_region(
     A vertex belongs to the *core* if, at the moment it was appended, the
     accumulated tree size was still strictly below ``core_size``; since the
     accumulator is monotone, the core is always a prefix of the BFS order.
-    The *ring* is collected in a second sweep over the tree's adjacency
-    lists (the still-unvisited neighbors).
+    The *ring* is the external neighborhood of ``T``.
+
+    Frontier-at-a-time kernel: each level is expanded with one CSR gather
+    and cut at the exact prefix where the accumulated size reaches
+    ``max_size``.  Output is bit-identical to
+    :func:`grow_bfs_region_reference`.
+    """
+    stamp = ws.fresh()
+    marks = ws.stamps
+    xadj, adjncy, vsize = g.xadj, g.adjncy, g.vsize
+
+    marks[center] = stamp
+    frontier = np.asarray([center], dtype=np.int64)
+    tree_parts = [frontier]
+    acc = int(vsize[center])
+    core_count = 1
+
+    while len(frontier) and acc < max_size:
+        cand = gather_csr_rows(xadj, adjncy, frontier)
+        cand = cand[marks[cand] != stamp]
+        if len(cand) == 0:
+            break
+        new = stable_unique(cand).astype(np.int64)
+        # size-bounded prefix: the scalar loop stops appending right after
+        # the vertex whose size pushes the accumulator to max_size
+        csum = acc + np.cumsum(vsize[new])
+        over = np.flatnonzero(csum >= max_size)
+        if len(over):
+            new = new[: int(over[0]) + 1]
+            csum = csum[: len(new)]
+        pre = csum - vsize[new]  # tree size just before each append
+        core_count += int(np.count_nonzero(pre < core_size))
+        acc = int(csum[-1])
+        marks[new] = stamp
+        tree_parts.append(new)
+        frontier = new
+
+    tree_arr = np.concatenate(tree_parts) if len(tree_parts) > 1 else tree_parts[0]
+
+    # ring: still-unvisited neighbors of the tree, in first-touch order
+    ring = gather_csr_rows(xadj, adjncy, tree_arr)
+    ring = stable_unique(ring[marks[ring] != stamp]).astype(np.int64)
+    return BFSRegion(
+        tree=tree_arr,
+        core_count=core_count,
+        ring=ring,
+        tree_size=acc,
+    )
+
+
+def grow_bfs_region_reference(
+    g: Graph,
+    ws: BFSWorkspace,
+    center: int,
+    max_size: int,
+    core_size: int,
+) -> BFSRegion:
+    """Scalar (vertex-at-a-time) reference for :func:`grow_bfs_region`.
+
+    Retained for equivalence tests and the hot-path benchmark; the
+    vectorized kernel must reproduce this output exactly.
     """
     stamp = ws.fresh()
     marks = ws.stamps
@@ -126,7 +202,30 @@ def grow_bfs_region(
 
 
 def bfs_order(g: Graph, source: int) -> np.ndarray:
-    """Full BFS visit order from ``source`` (its connected component only)."""
+    """Full BFS visit order from ``source`` (its connected component only).
+
+    Level-synchronous frontier expansion; bit-identical to
+    :func:`bfs_order_reference`.
+    """
+    marks = np.zeros(g.n, dtype=bool)
+    marks[source] = True
+    frontier = np.asarray([source], dtype=np.int64)
+    parts = [frontier]
+    xadj, adjncy = g.xadj, g.adjncy
+    while len(frontier):
+        cand = gather_csr_rows(xadj, adjncy, frontier)
+        cand = cand[~marks[cand]]
+        if len(cand) == 0:
+            break
+        new = stable_unique(cand).astype(np.int64)
+        marks[new] = True
+        parts.append(new)
+        frontier = new
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+def bfs_order_reference(g: Graph, source: int) -> np.ndarray:
+    """Scalar (deque) reference for :func:`bfs_order`."""
     marks = np.zeros(g.n, dtype=bool)
     order = [source]
     marks[source] = True

@@ -1,0 +1,19 @@
+"""Performance infrastructure: phase timers and the cut-subproblem cache."""
+
+from .cut_cache import CutCache
+from .timers import (
+    PhaseProfiler,
+    get_profiler,
+    profile_count,
+    profile_span,
+    set_profiler,
+)
+
+__all__ = [
+    "CutCache",
+    "PhaseProfiler",
+    "get_profiler",
+    "set_profiler",
+    "profile_span",
+    "profile_count",
+]
