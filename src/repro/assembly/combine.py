@@ -20,7 +20,7 @@ from .greedy import greedy_labels_for_graph
 from .local_search import local_search
 from .pool import Solution
 
-__all__ = ["perturbed_graph", "combine_solutions"]
+__all__ = ["perturbed_graph", "combine_solutions", "combine_chain"]
 
 
 def perturbed_graph(g: Graph, s1: Solution, s2: Solution, p0: float, p1: float, p2: float) -> Graph:
@@ -66,3 +66,24 @@ def combine_solutions(
     )
     # evaluate under the original weights
     return Solution.from_labels(g, state.labels)
+
+
+def combine_chain(
+    g: Graph,
+    p: Solution,
+    s1: Solution,
+    s2: Solution,
+    U: int,
+    cfg: AssemblyConfig,
+    rng: np.random.Generator,
+) -> tuple[Solution, Solution]:
+    """The two combine legs of one multistart iteration, as a unit.
+
+    Computes ``P' = combine(s1, s2)`` then ``P'' = combine(p, P')`` and
+    returns ``(P', P'')``.  Both the sequential multistart loop and the
+    worker-pool combination tasks go through this, so the two paths run
+    the exact same greedy/local-search sequence per iteration.
+    """
+    p_prime = combine_solutions(g, s1, s2, U, cfg, rng)
+    p_second = combine_solutions(g, p, p_prime, U, cfg, rng)
+    return p_prime, p_second

@@ -47,14 +47,22 @@ def run_assembly(
     rng: np.random.Generator | None = None,
     runtime: RuntimeConfig | None = None,
     budget: RunBudget | None = None,
+    parallel=None,
 ) -> AssemblyResult:
-    """Run greedy + local search (+ multistart/combination) on fragments."""
+    """Run greedy + local search (+ multistart/combination) on fragments.
+
+    ``parallel`` (a :class:`~repro.parallel.pool.ParallelRuntime`) runs the
+    multistart iterations on the shared worker pool; see
+    :func:`repro.assembly.multistart.multistart`.
+    """
     config = AssemblyConfig() if config is None else config
     rng = np.random.default_rng() if rng is None else rng
     if fragment_graph.n and int(fragment_graph.vsize.max()) > U:
         raise ValueError("a fragment exceeds U; filtering did not respect the bound")
     t0 = time.perf_counter()
-    solution, stats = multistart(fragment_graph, U, config, rng, runtime=runtime, budget=budget)
+    solution, stats = multistart(
+        fragment_graph, U, config, rng, runtime=runtime, budget=budget, parallel=parallel
+    )
     return AssemblyResult(
         solution=solution, stats=stats, time_assembly=time.perf_counter() - t0
     )

@@ -79,20 +79,33 @@ def run_balanced_punch(
     if U_star < int(g.vsize.max(initial=1)):
         raise ValueError("U* smaller than the largest vertex size; infeasible")
 
-    U_filter = max(int(g.vsize.max(initial=1)), U_star // config.filter_divisor)
-    filt = run_filtering(g, U_filter, config.filter, rng, runtime=config.runtime, budget=budget)
-    return balanced_from_fragments(
-        g,
-        filt.fragment_graph,
-        filt.map,
-        k,
-        U_star,
-        config,
-        rng,
-        t_start=t_start,
-        budget=budget,
-        filter_report=filt.run_report(),
-    )
+    parallel = None
+    if config.parallel is not None:
+        from ..parallel.pool import ParallelRuntime
+
+        parallel = ParallelRuntime(config.parallel)
+    try:
+        U_filter = max(int(g.vsize.max(initial=1)), U_star // config.filter_divisor)
+        filt = run_filtering(
+            g, U_filter, config.filter, rng,
+            runtime=config.runtime, budget=budget, parallel=parallel,
+        )
+        return balanced_from_fragments(
+            g,
+            filt.fragment_graph,
+            filt.map,
+            k,
+            U_star,
+            config,
+            rng,
+            t_start=t_start,
+            budget=budget,
+            filter_report=filt.run_report(),
+            parallel=parallel,
+        )
+    finally:
+        if parallel is not None:
+            parallel.close()
 
 
 def _checkpoint_state(
@@ -134,17 +147,31 @@ def balanced_from_fragments(
     t_start: float | None = None,
     budget: RunBudget | None = None,
     filter_report: Optional[dict] = None,
+    parallel=None,
 ) -> BalancedResult:
     """Steps 2-4 of the balanced recipe, given an existing fragment graph.
 
     Exposed separately so experiments can amortize one filtering run over
     several randomized assembly+rebalance runs.  See the module docstring
     for deadline and checkpoint/resume semantics.
+
+    ``parallel`` (a :class:`~repro.parallel.pool.ParallelRuntime`) runs the
+    independent unbalanced starts on the shared worker pool with seeds
+    derived up front from the parent RNG; each start is then rebalanced
+    sequentially with its own derived generator, so the outcome is
+    executor-independent.  Parallel starts are skipped when checkpointing
+    is enabled — the sequential loop owns the mid-start resume format.
     """
     t_start = time.perf_counter() if t_start is None else t_start
     runtime = config.runtime
     n_starts = max(1, math.ceil(config.numerator / k))
     asm_cfg = replace(config.assembly, phi=config.phi_unbalanced)
+
+    if parallel is not None and runtime.checkpoint_path is None and n_starts > 1:
+        return _balanced_parallel(
+            g, frag, frag_map, k, U_star, config, rng, t_start, budget,
+            filter_report, parallel, n_starts, asm_cfg,
+        )
 
     best_labels = None
     best_cost = float("inf")
@@ -289,4 +316,155 @@ def balanced_from_fragments(
         resumed_at=resumed_at,
         checkpoints_written=checkpoints_written,
         filter_report=dict(filter_report or {}),
+        parallel_report=parallel.report() if parallel is not None else {},
+    )
+
+
+def _balanced_parallel(
+    g: Graph,
+    frag: Graph,
+    frag_map: np.ndarray,
+    k: int,
+    U_star: int,
+    config: BalancedConfig,
+    rng: np.random.Generator,
+    t_start: float,
+    budget: RunBudget | None,
+    filter_report: Optional[dict],
+    parallel,
+    n_starts: int,
+    asm_cfg,
+) -> BalancedResult:
+    """Steps 2-4 with the unbalanced starts on the worker pool.
+
+    All start and rebalance seeds are derived from the parent RNG before
+    dispatch; the starts run as one wave against the shared fragment graph
+    and each surviving solution is rebalanced sequentially with its own
+    generator.  Skipped starts (faults, deadline) lose only their start.
+    """
+    import functools
+
+    from ..parallel.tasks import unbalanced_start_task
+    from ..runtime.executor import resilient_map
+
+    runtime = config.runtime
+    start_seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=n_starts)]
+    rebal_seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=n_starts)]
+    handle = parallel.share(frag)
+    task = functools.partial(
+        unbalanced_start_task, handle=handle, U_star=U_star, cfg=asm_cfg
+    )
+    with profile_span("balanced.unbalanced_starts"):
+        results, _report = resilient_map(
+            task,
+            start_seeds,
+            executor=parallel.backend,
+            workers=parallel.workers,
+            max_retries=runtime.max_retries,
+            backoff_base=runtime.backoff_base,
+            backoff_max=runtime.backoff_max,
+            backoff_jitter=runtime.backoff_jitter,
+            seed=runtime.retry_seed,
+            budget=budget,
+            fault_plan=runtime.fault_plan,
+            pool=parallel.pool(),
+        )
+
+    solutions = []
+    for si, out in enumerate(results):
+        if out is None:
+            continue
+        labels, cost, wstats = out
+        parallel.note_batch(wstats)
+        solutions.append((si, labels, float(cost)))
+    if not solutions:
+        # every start was skipped; run the first scheduled start inline so
+        # the driver keeps its "at least one attempt" guarantee
+        rng0 = np.random.default_rng(start_seeds[0])
+        with profile_span("balanced.unbalanced_start"):
+            labels = greedy_labels_for_graph(
+                frag, U_star, rng0, asm_cfg.score_a, asm_cfg.score_b
+            )
+            state = PartitionState(frag, labels)
+            local_search(
+                state,
+                U_star,
+                variant=asm_cfg.local_search,
+                phi_max=asm_cfg.phi,
+                rng=rng0,
+                score_a=asm_cfg.score_a,
+                score_b=asm_cfg.score_b,
+            )
+        solutions = [(0, state.labels, float(state.cost))]
+
+    best_labels = None
+    best_cost = float("inf")
+    attempts = 0
+    failures = 0
+    unbalanced_costs = []
+    deadline_expired = False
+
+    for si, labels, cost in solutions:
+        if (
+            best_labels is not None
+            and budget is not None
+            and budget.checkpoint("balanced_start")
+        ):
+            deadline_expired = True
+            break
+        unbalanced_costs.append(cost)
+        state = PartitionState(frag, labels)
+        rng_i = np.random.default_rng(rebal_seeds[si])
+        for _ri in range(config.rebalance_attempts):
+            if (
+                best_labels is not None
+                and budget is not None
+                and budget.checkpoint("balanced_rebalance")
+            ):
+                deadline_expired = True
+                break
+            attempts += 1
+            with profile_span("balanced.rebalance"):
+                out = rebalance(
+                    frag,
+                    state.labels,
+                    k,
+                    U_star,
+                    config.assembly,
+                    config.phi_rebalance,
+                    rng_i,
+                )
+            if out.success:
+                if out.cost < best_cost:
+                    best_cost = out.cost
+                    best_labels = out.labels.copy()
+            else:
+                failures += 1
+            if out.success and out.rounds == 0 and state.num_cells() <= k:
+                break  # already balanced; rebalancing is deterministic here
+        if deadline_expired:
+            break
+
+    if best_labels is None:
+        hint = "try a larger epsilon or a smaller filter_divisor"
+        if budget is not None and budget.expired():
+            hint = (
+                "the run budget expired before any solution could be "
+                "rebalanced; increase the time budget"
+            )
+        raise RuntimeError(f"balanced PUNCH failed to rebalance any solution; {hint}")
+
+    partition = Partition(g, best_labels[frag_map])
+    return BalancedResult(
+        partition=partition,
+        k=k,
+        epsilon=config.epsilon,
+        U_star=U_star,
+        time_total=time.perf_counter() - t_start,
+        attempts=attempts,
+        failed_rebalances=failures,
+        unbalanced_costs=unbalanced_costs,
+        deadline_expired=deadline_expired,
+        filter_report=dict(filter_report or {}),
+        parallel_report=parallel.report(),
     )

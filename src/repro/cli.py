@@ -64,6 +64,38 @@ def _add_runtime_flags(sp) -> None:
         action="store_true",
         help="collect per-phase wall/CPU timings and print the breakdown",
     )
+    sp.add_argument(
+        "--executor",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="worker-pool backend; the partition is bit-identical across all "
+        "three (omit the flag entirely for the legacy sequential loop; see "
+        "docs/PERFORMANCE.md)",
+    )
+    sp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --executor threads/processes (default: all cores)",
+    )
+
+
+def _parallel_from_args(args):
+    """Build the worker-pool config from the shared CLI flags.
+
+    No ``--executor`` flag means the legacy sequential drivers (``None``).
+    An explicit ``--executor serial`` runs the parallel task structure
+    inline — same partition as threads/processes, no pool.
+    """
+    if args.executor is None:
+        return None
+    from .core.config import ParallelConfig
+
+    try:
+        return ParallelConfig(backend=args.executor, workers=args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _enable_profiling(args):
@@ -147,6 +179,7 @@ def cmd_partition(args) -> int:
     cfg = PunchConfig(
         assembly=AssemblyConfig(multistart=args.multistart, phi=args.phi),
         runtime=_runtime_from_args(args),
+        parallel=_parallel_from_args(args),
         seed=args.seed,
     )
     prof = _enable_profiling(args)
@@ -170,6 +203,7 @@ def cmd_balanced(args) -> int:
         phi_unbalanced=args.phi,
         rebalance_attempts=args.rebalances,
         runtime=_runtime_from_args(args),
+        parallel=_parallel_from_args(args),
         seed=args.seed,
     )
     prof = _enable_profiling(args)

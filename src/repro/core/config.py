@@ -22,7 +22,39 @@ __all__ = [
     "PunchConfig",
     "BalancedConfig",
     "RuntimeConfig",
+    "ParallelConfig",
 ]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Shared-memory worker-pool policy (``src/repro/parallel/``).
+
+    Setting ``parallel`` on a :class:`PunchConfig` / :class:`BalancedConfig`
+    routes natural-cut detection, multistart assembly, and the balanced
+    driver's unbalanced starts through one persistent
+    :class:`~repro.parallel.pool.WorkerPool`.  The output is bit-identical
+    across backends (serial ≡ threads ≡ processes — see
+    ``docs/PERFORMANCE.md``); the backend only decides where the work runs.
+    ``backend="serial"`` runs the same task structure inline, which is what
+    makes the contract testable.
+    """
+
+    backend: str = "processes"  # "serial" | "threads" | "processes"
+    workers: Optional[int] = None  # None = os.cpu_count()
+    # LPT scheduling granularity: subproblem batches per worker per sweep
+    # (more batches = better load balance, more dispatch overhead)
+    batches_per_worker: int = 4
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "threads", "processes"):
+            raise ValueError(
+                f"backend must be 'serial', 'threads' or 'processes', got {self.backend!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for cpu_count)")
+        if self.batches_per_worker < 1:
+            raise ValueError("batches_per_worker must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -131,6 +163,8 @@ class PunchConfig:
     filter: FilterConfig = field(default_factory=FilterConfig)
     assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    # None = legacy single-process path; set to enable the worker pool
+    parallel: Optional[ParallelConfig] = None
     seed: Optional[int] = None
 
     def with_seed(self, seed: int) -> "PunchConfig":
@@ -152,6 +186,8 @@ class BalancedConfig:
     filter: FilterConfig = field(default_factory=FilterConfig)
     assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    # None = legacy single-process path; set to enable the worker pool
+    parallel: Optional[ParallelConfig] = None
     seed: Optional[int] = None
 
     @property

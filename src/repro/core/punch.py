@@ -33,6 +33,7 @@ def run_punch(
     config: Optional[PunchConfig] = None,
     rng: np.random.Generator | None = None,
     budget: RunBudget | None = None,
+    parallel=None,
 ) -> PunchResult:
     """Partition ``g`` into cells of size at most ``U`` with PUNCH.
 
@@ -40,6 +41,14 @@ def run_punch(
     whole run shares one deadline: filtering stops contracting and assembly
     stops iterating when it expires, and the best valid partition found so
     far is returned.  See ``docs/RESILIENCE.md``.
+
+    With ``config.parallel`` set, one shared-memory worker pool
+    (:class:`~repro.parallel.pool.ParallelRuntime`) is created here, reused
+    by natural-cut detection and multistart assembly across all components,
+    and torn down — pool and shared segments — when the run ends, even on
+    error.  An explicit ``parallel`` argument borrows an existing runtime
+    (the caller keeps ownership).  The partition is bit-identical across
+    backends; see ``docs/PERFORMANCE.md``.
     """
     config = PunchConfig() if config is None else config
     if rng is None:
@@ -49,28 +58,47 @@ def run_punch(
     if budget is None and config.runtime.time_budget is not None:
         budget = config.runtime.make_budget()
 
-    ncomp, comp = connected_components(g)
-    if ncomp > 1:
-        return _run_per_component(g, U, config, rng, ncomp, comp, budget)
+    owns_parallel = False
+    if parallel is None and config.parallel is not None:
+        from ..parallel.pool import ParallelRuntime
 
-    filt = run_filtering(g, U, config.filter, rng, runtime=config.runtime, budget=budget)
-    t0 = time.perf_counter()
-    asm = run_assembly(
-        filt.fragment_graph, U, config.assembly, rng, runtime=config.runtime, budget=budget
-    )
-    time_assembly = time.perf_counter() - t0
+        parallel = ParallelRuntime(config.parallel)
+        owns_parallel = True
+    try:
+        ncomp, comp = connected_components(g)
+        if ncomp > 1:
+            return _run_per_component(g, U, config, rng, ncomp, comp, budget, parallel)
 
-    labels = asm.labels[filt.map]
-    partition = Partition(g, labels)
-    return PunchResult(
-        partition=partition,
-        U=U,
-        filter_result=filt,
-        assembly_stats=asm.stats,
-        time_tiny=filt.time_tiny,
-        time_natural=filt.time_natural,
-        time_assembly=time_assembly,
-    )
+        filt = run_filtering(
+            g, U, config.filter, rng, runtime=config.runtime, budget=budget, parallel=parallel
+        )
+        t0 = time.perf_counter()
+        asm = run_assembly(
+            filt.fragment_graph,
+            U,
+            config.assembly,
+            rng,
+            runtime=config.runtime,
+            budget=budget,
+            parallel=parallel,
+        )
+        time_assembly = time.perf_counter() - t0
+
+        labels = asm.labels[filt.map]
+        partition = Partition(g, labels)
+        return PunchResult(
+            partition=partition,
+            U=U,
+            filter_result=filt,
+            assembly_stats=asm.stats,
+            time_tiny=filt.time_tiny,
+            time_natural=filt.time_natural,
+            time_assembly=time_assembly,
+            parallel_report=parallel.report() if parallel is not None else {},
+        )
+    finally:
+        if owns_parallel:
+            parallel.close()
 
 
 def _run_per_component(
@@ -81,8 +109,13 @@ def _run_per_component(
     ncomp: int,
     comp: np.ndarray,
     budget: RunBudget | None = None,
+    parallel=None,
 ) -> PunchResult:
-    """Partition each connected component independently and merge."""
+    """Partition each connected component independently and merge.
+
+    A parallel runtime owned by the top-level call is passed down so every
+    per-component sub-run reuses the same worker pool.
+    """
     from dataclasses import replace
 
     if config.runtime.checkpoint_path is not None:
@@ -104,7 +137,7 @@ def _run_per_component(
             offset += 1
             continue
         sub, sub_to_g, _ = induced_subgraph(g, members)
-        res = run_punch(sub, U, config, rng, budget=budget)
+        res = run_punch(sub, U, config, rng, budget=budget, parallel=parallel)
         labels[sub_to_g] = res.partition.labels + offset
         offset += res.partition.num_cells
         total["time_tiny"] += res.time_tiny
@@ -119,5 +152,6 @@ def _run_per_component(
         U=U,
         filter_result=last_filt,
         assembly_stats=last_stats,
+        parallel_report=parallel.report() if parallel is not None else {},
         **total,
     )

@@ -24,6 +24,9 @@ class PunchResult:
     time_tiny: float
     time_natural: float
     time_assembly: float
+    # worker-pool telemetry (backend, merged per-worker cache counters, shared
+    # bytes, pool breaks); empty when the run was single-process
+    parallel_report: dict = field(default_factory=dict)
 
     @property
     def cost(self) -> float:
@@ -61,6 +64,8 @@ class PunchResult:
         if self.assembly_stats is not None:
             for key, value in self.assembly_stats.incidents().items():
                 report[f"assembly_{key}" if key in report else key] = value
+        if self.parallel_report:
+            report["parallel"] = dict(self.parallel_report)
         return report
 
     def summary(self) -> str:
@@ -72,8 +77,9 @@ class PunchResult:
             f"{self.time_assembly:.1f}s"
         )
         incidents = self.run_report()
-        # the cut-cache counters are informational, not an incident
+        # the cut-cache and worker-pool counters are informational, not incidents
         incidents.pop("cut_cache", None)
+        incidents.pop("parallel", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
             line += f" [resilience: {detail}]"
@@ -97,6 +103,8 @@ class BalancedResult:
     resumed_at: int = -1  # start index restored from a checkpoint (-1 = fresh)
     checkpoints_written: int = 0
     filter_report: dict = field(default_factory=dict)
+    # worker-pool telemetry; empty when the run was single-process
+    parallel_report: dict = field(default_factory=dict)
 
     @property
     def cost(self) -> float:
@@ -118,6 +126,8 @@ class BalancedResult:
             report["resumed_at"] = self.resumed_at
         if self.checkpoints_written:
             report["checkpoints_written"] = self.checkpoints_written
+        if self.parallel_report:
+            report["parallel"] = dict(self.parallel_report)
         return report
 
     def summary(self) -> str:
@@ -128,6 +138,7 @@ class BalancedResult:
         )
         incidents = self.run_report()
         incidents.pop("cut_cache", None)
+        incidents.pop("parallel", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
             line += f" [resilience: {detail}]"

@@ -32,12 +32,21 @@ def map_subproblems(
     items: Sequence[T],
     executor: str = "serial",
     workers: int | None = None,
+    pool=None,
 ) -> List[R]:
     """Apply ``fn`` to every item, preserving order.
 
     ``workers=None`` lets the pool pick its default; an explicit worker
     count must be positive.  An empty item list returns ``[]`` without
     spinning up a pool.
+
+    ``pool`` is an optional persistent :class:`~repro.parallel.pool.WorkerPool`
+    (duck-typed: ``kind``, ``executor``, ``usable()``): when its kind matches
+    the requested executor, the map reuses it instead of constructing (and
+    tearing down) a fresh pool — the per-call pool here is exactly the perf
+    bug the shared-memory runtime exists to fix.  Callers that submit
+    handle-based batches schedule them one task per item (``chunksize=1``);
+    the chunking heuristic below is only for raw, unbatched item streams.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
@@ -47,6 +56,8 @@ def map_subproblems(
         return []
     if executor == "serial":
         return [fn(x) for x in items]
+    if pool is not None and pool.kind == executor and pool.usable():
+        return list(pool.executor.map(fn, items, chunksize=1))
     if executor == "threads":
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))

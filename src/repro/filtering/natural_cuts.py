@@ -31,6 +31,7 @@ size bound unconditionally.
 from __future__ import annotations
 
 import functools
+import os
 from dataclasses import dataclass, field
 import math
 from typing import List, Optional
@@ -47,7 +48,13 @@ from ..runtime.executor import resilient_map
 from ..runtime.faults import FaultPlan
 from .cut_problem import CutProblem, build_cut_problem, solve_cut_problem_sides
 
-__all__ = ["NaturalCutStats", "detect_natural_cuts", "collect_cut_problems", "SOLVER_FALLBACKS"]
+__all__ = [
+    "NaturalCutStats",
+    "detect_natural_cuts",
+    "collect_cut_problems",
+    "collect_cut_regions",
+    "SOLVER_FALLBACKS",
+]
 
 #: fallback order when a flow solver raises: the paper's push-relabel drops
 #: to the BFS-based reference solvers, which are slower but independent code
@@ -101,27 +108,32 @@ class NaturalCutStats:
         return out
 
 
-def collect_cut_problems(
+def _collect_sweep(
     g: Graph,
     U: int,
     alpha: float,
     f: float,
     rng: np.random.Generator,
-    stats: NaturalCutStats | None = None,
-    budget: RunBudget | None = None,
-) -> List[CutProblem]:
-    """One coverage sweep: pick centers until every vertex is in some core.
+    stats: NaturalCutStats | None,
+    budget: RunBudget | None,
+    build: bool,
+) -> list:
+    """The shared center-picking sweep behind both collect functions.
 
-    Returns the list of min-cut subproblems (regions whose BFS exhausted a
-    component produce no problem — there is nothing to cut there).  When
-    ``budget`` expires mid-sweep, the sweep stops and returns the problems
-    collected so far.
+    With ``build=True`` every non-exhausted region is turned into a
+    :class:`CutProblem` (the sequential path); with ``build=False`` only
+    ``(center, ring_size)`` pairs are recorded — the pool path re-grows the
+    region inside the worker (region growth is a pure function of the
+    center, independent of the covered mask, so the worker reconstructs it
+    exactly), and the ring size feeds the LPT cost estimate.  Both modes
+    consume the RNG identically, which keeps everything downstream of the
+    sweep on the same random stream regardless of executor.
     """
     max_size = max(2, int(math.ceil(alpha * U)))
     core_size = max(1, int(math.ceil(alpha * U / f)))
     ws = BFSWorkspace(g.n)
     covered = np.zeros(g.n, dtype=bool)
-    problems: List[CutProblem] = []
+    out: list = []
     for sweep_pos, center in enumerate(rng.permutation(g.n)):
         if (
             budget is not None
@@ -143,10 +155,51 @@ def collect_cut_problems(
             if stats is not None:
                 stats.exhausted_regions += 1
             continue
-        prob = build_cut_problem(g, region, center=center)
-        if prob is not None:
-            problems.append(prob)
-    return problems
+        if build:
+            prob = build_cut_problem(g, region, center=center)
+            if prob is not None:
+                out.append(prob)
+        else:
+            out.append((center, int(len(region.ring))))
+    return out
+
+
+def collect_cut_problems(
+    g: Graph,
+    U: int,
+    alpha: float,
+    f: float,
+    rng: np.random.Generator,
+    stats: NaturalCutStats | None = None,
+    budget: RunBudget | None = None,
+) -> List[CutProblem]:
+    """One coverage sweep: pick centers until every vertex is in some core.
+
+    Returns the list of min-cut subproblems (regions whose BFS exhausted a
+    component produce no problem — there is nothing to cut there).  When
+    ``budget`` expires mid-sweep, the sweep stops and returns the problems
+    collected so far.
+    """
+    return _collect_sweep(g, U, alpha, f, rng, stats, budget, build=True)
+
+
+def collect_cut_regions(
+    g: Graph,
+    U: int,
+    alpha: float,
+    f: float,
+    rng: np.random.Generator,
+    stats: NaturalCutStats | None = None,
+    budget: RunBudget | None = None,
+) -> List[tuple]:
+    """One coverage sweep collecting only ``(center, ring_size)`` pairs.
+
+    The handle-based pool path uses this: a task then pickles just the
+    center ids of its batch, and the worker rebuilds each subproblem from
+    the shared graph ("including the creation of the relevant subproblem"
+    runs in parallel, exactly as in the paper).
+    """
+    return _collect_sweep(g, U, alpha, f, rng, stats, budget, build=False)
 
 
 def _solve_one(
@@ -192,6 +245,7 @@ def detect_natural_cuts(
     runtime: RuntimeConfig | None = None,
     budget: RunBudget | None = None,
     cut_cache: CutCache | None = None,
+    parallel=None,
 ) -> tuple[np.ndarray, NaturalCutStats]:
     """Run ``C`` coverage sweeps; returns ``(cut_edge_ids, stats)``.
 
@@ -209,13 +263,22 @@ def detect_natural_cuts(
     with every executor tier.  A hit is bit-identical to a fresh solve
     (equal fingerprints imply identical networks), so caching never changes
     the detected cuts.
+
+    ``parallel`` (a :class:`~repro.parallel.pool.ParallelRuntime`) switches
+    to the handle-based pool path: the sweep collects only centers, and
+    LPT-scheduled center batches are solved against the shared-memory graph
+    on the persistent pool (``executor``/``workers`` are then taken from the
+    runtime; with ``backend="serial"`` the same batches run inline).  The
+    detected cut set is the union of per-region min cuts, which is
+    independent of batching and completion order, so the result is
+    bit-identical to the sequential path for the same ``rng``.
     """
     rng = np.random.default_rng() if rng is None else rng
     runtime = RuntimeConfig() if runtime is None else runtime
     if budget is None and runtime.time_budget is not None:
         budget = runtime.make_budget()
     stats = NaturalCutStats()
-    stats.final_executor = executor
+    stats.final_executor = executor if parallel is None else parallel.backend
     marked = np.zeros(g.m, dtype=bool)
 
     def account(problem: CutProblem, value: float, side: np.ndarray, fallbacks: int) -> None:
@@ -230,6 +293,12 @@ def detect_natural_cuts(
         if budget is not None and budget.checkpoint("natural_cuts_sweep"):
             stats.deadline_expired = True
             break
+        if parallel is not None:
+            _pooled_sweep(
+                g, U, alpha, f, rng, solver, runtime, budget,
+                cut_cache, parallel, stats, marked,
+            )
+            continue
         with profile_span("natural_cuts.collect"):
             problems = collect_cut_problems(g, U, alpha, f, rng, stats, budget=budget)
         if cut_cache is not None:
@@ -283,3 +352,100 @@ def detect_natural_cuts(
     cut_ids = np.flatnonzero(marked).astype(np.int64)
     stats.cut_edges_marked = len(cut_ids)
     return cut_ids, stats
+
+
+def _pooled_sweep(
+    g: Graph,
+    U: int,
+    alpha: float,
+    f: float,
+    rng: np.random.Generator,
+    solver: str,
+    runtime: RuntimeConfig,
+    budget: RunBudget | None,
+    cut_cache: CutCache | None,
+    parallel,
+    stats: NaturalCutStats,
+    marked: np.ndarray,
+) -> None:
+    """One coverage sweep on the shared-memory worker pool.
+
+    Centers are collected sequentially (as in the paper), dealt into
+    LPT-ordered batches by ring size, and dispatched as handle-based tasks
+    — each task pickles only its center ids.  Results stream back through
+    :func:`resilient_map`, which preserves batch order, and are folded into
+    ``marked``; since marking is a set union, the outcome matches the
+    sequential path bit for bit.  Resilience counters are batch-granular
+    here (a retried/skipped/timed-out *batch* counts once), and the
+    per-subproblem timeout scales by the largest batch size.
+    """
+    from ..parallel.tasks import solve_center_batch
+
+    with profile_span("natural_cuts.collect"):
+        regions = collect_cut_regions(g, U, alpha, f, rng, stats, budget=budget)
+    if not regions:
+        return
+    handle = parallel.share(g)
+    workers = parallel.workers or os.cpu_count() or 1
+    if parallel.backend == "serial":
+        workers = 1
+    n_batches = max(1, workers * parallel.config.batches_per_worker)
+    from ..parallel.pool import lpt_batches
+
+    batches = lpt_batches([ring for _, ring in regions], n_batches)
+    batch_centers = [[regions[i][0] for i in batch] for batch in batches]
+    task = functools.partial(
+        solve_center_batch,
+        handle=handle,
+        U=U,
+        alpha=alpha,
+        f=f,
+        solver=solver,
+        cache_entries=cut_cache.max_entries if cut_cache is not None else 0,
+        fault_plan=runtime.fault_plan,
+    )
+    timeout = runtime.subproblem_timeout
+    if timeout is not None:
+        timeout *= max(len(b) for b in batch_centers)
+    with profile_span("natural_cuts.solve"):
+        results, report = resilient_map(
+            task,
+            batch_centers,
+            executor=parallel.backend,
+            workers=parallel.workers,
+            timeout=timeout,
+            max_retries=runtime.max_retries,
+            backoff_base=runtime.backoff_base,
+            backoff_max=runtime.backoff_max,
+            backoff_jitter=runtime.backoff_jitter,
+            seed=runtime.retry_seed,
+            budget=budget,
+            fault_plan=runtime.fault_plan,
+            pool=parallel.pool(),
+        )
+    stats.retries += report.retries
+    stats.timeouts += report.timeouts
+    stats.skipped += report.skipped
+    stats.deadline_skipped += report.deadline_skipped
+    stats.executor_degradations += report.executor_degradations
+    stats.final_executor = report.final_executor
+    for msg in report.error_samples:
+        if len(stats.error_samples) < 8:
+            stats.error_samples.append(msg)
+    for out in results:
+        if out is None:
+            continue  # skipped batch: its cuts are simply not marked
+        solved, wstats = out
+        parallel.note_batch(wstats)
+        stats.cache_hits += int(wstats.get("cache_hits", 0))
+        stats.cache_misses += int(wstats.get("cache_misses", 0))
+        for entry in solved:
+            if entry is None:
+                continue  # exhausted region / degenerate network
+            _center, value, edge_ids, fallbacks = entry
+            stats.problems_solved += 1
+            stats.total_cut_value += value
+            stats.cut_values.append(float(value))
+            if fallbacks:
+                stats.solver_fallbacks += 1
+            marked[edge_ids] = True

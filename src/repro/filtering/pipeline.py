@@ -89,12 +89,18 @@ def run_filtering(
     rng: np.random.Generator | None = None,
     runtime: RuntimeConfig | None = None,
     budget: RunBudget | None = None,
+    parallel=None,
 ) -> FilterResult:
     """Run the filtering phase of PUNCH on ``g`` with cell bound ``U``.
 
     ``runtime``/``budget`` arm the resilience layer (docs/RESILIENCE.md):
     on deadline expiry the phase returns the fragments contracted so far —
     always a valid, size-bounded fragment graph — instead of raising.
+
+    ``parallel`` (a :class:`~repro.parallel.pool.ParallelRuntime`) routes
+    natural-cut detection through the shared-memory worker pool; the
+    detected cuts — and therefore the fragment graph — are bit-identical
+    to the sequential path.  It overrides ``config.executor``/``workers``.
     """
     config = FilterConfig() if config is None else config
     rng = np.random.default_rng() if rng is None else rng
@@ -141,6 +147,7 @@ def run_filtering(
                 runtime=runtime,
                 budget=budget,
                 cut_cache=cut_cache,
+                parallel=parallel,
             )
         with profile_span("filter.fragments"):
             labels, frag_stats = fragment_labels(chain.current, cut_ids, U)

@@ -1,0 +1,23 @@
+"""Shared-memory parallel runtime (zero-copy worker pool).
+
+See ``docs/PERFORMANCE.md`` ("Shared-memory parallel runtime") for the
+architecture: :class:`SharedGraph` exports the CSR arrays once into
+``multiprocessing.shared_memory``, the persistent :class:`WorkerPool`
+attaches them zero-copy in every worker, and :class:`ParallelRuntime`
+owns both for the duration of one PUNCH run.
+"""
+
+from .pool import ParallelRuntime, WorkerPool, lpt_batches, register_graph, resolve_graph
+from .shared_graph import AttachedGraph, SharedGraph, SharedGraphHandle, attach_shared_graph
+
+__all__ = [
+    "ParallelRuntime",
+    "WorkerPool",
+    "lpt_batches",
+    "register_graph",
+    "resolve_graph",
+    "SharedGraph",
+    "SharedGraphHandle",
+    "AttachedGraph",
+    "attach_shared_graph",
+]

@@ -64,6 +64,11 @@ class CutCache:
         side.setflags(write=False)
         self._store[key] = (value, side)
 
+    def counters(self) -> Tuple[int, int]:
+        """Current ``(hits, misses)``; pool tasks diff two calls of this to
+        report per-batch deltas from a long-lived per-worker cache."""
+        return self.hits, self.misses
+
     def stats(self) -> dict:
         """Counters for run reports: hits, misses, entries, hit rate."""
         total = self.hits + self.misses

@@ -20,7 +20,28 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-__all__ = ["PhaseProfiler", "get_profiler", "set_profiler", "profile_span", "profile_count"]
+__all__ = [
+    "PhaseProfiler",
+    "get_profiler",
+    "set_profiler",
+    "profile_span",
+    "profile_count",
+    "span_delta",
+]
+
+
+def span_delta(before: Dict[str, tuple], after: Dict[str, tuple]) -> Dict[str, tuple]:
+    """Per-span increments between two :meth:`PhaseProfiler.snapshot` calls.
+
+    Pool workers use this to report only the spans of the current task,
+    even though the worker-global profiler accumulates across tasks.
+    """
+    out: Dict[str, tuple] = {}
+    for name, (wall, cpu, calls) in after.items():
+        w0, c0, k0 = before.get(name, (0.0, 0.0, 0))
+        if calls > k0:
+            out[name] = (wall - w0, cpu - c0, calls - k0)
+    return out
 
 
 class PhaseProfiler:
@@ -64,6 +85,26 @@ class PhaseProfiler:
         """Drop all recorded spans and counters."""
         self.spans.clear()
         self.counters.clear()
+
+    def snapshot(self) -> Dict[str, tuple]:
+        """Immutable copy of the span table, for :func:`span_delta`."""
+        return {name: (rec[0], rec[1], rec[2]) for name, rec in self.spans.items()}
+
+    def merge(self, spans: Dict[str, tuple]) -> None:
+        """Fold span deltas from another profiler (e.g. a pool worker) in.
+
+        ``spans`` maps name -> ``(wall_s, cpu_s, calls)`` increments, the
+        shape produced by :func:`span_delta`.  Merging is additive, so the
+        parent's report covers work done in worker processes too.
+        """
+        for name, (wall, cpu, calls) in spans.items():
+            rec = self.spans.get(name)
+            if rec is None:
+                self.spans[name] = [wall, cpu, calls]
+            else:
+                rec[0] += wall
+                rec[1] += cpu
+                rec[2] += calls
 
     def export(self) -> dict:
         """JSON-ready snapshot: per-span wall/CPU/calls plus counters."""

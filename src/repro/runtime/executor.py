@@ -23,6 +23,7 @@ negligible.
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -164,6 +165,7 @@ def resilient_map(
     seed: int = 0,
     budget: Optional[RunBudget] = None,
     fault_plan: Optional[FaultPlan] = None,
+    pool=None,
 ) -> tuple[List[Optional[object]], ExecutionReport]:
     """Apply ``fn`` to every item with the resilience policy; order preserved.
 
@@ -171,6 +173,15 @@ def resilient_map(
     or ``None`` when the item was skipped (attempts exhausted or deadline).
     Never raises for per-item failures; programming errors such as an
     unknown executor still raise.
+
+    ``pool`` is an optional persistent :class:`~repro.parallel.pool.WorkerPool`
+    (duck-typed — this module must not import the parallel package): the
+    tier matching ``pool.kind`` submits to it instead of constructing a
+    fresh executor.  When that tier degrades, ``pool.mark_broken()`` is
+    called before moving on, which lets the pool's owner release its
+    shared-memory exports (no worker can read them anymore) while the
+    thread/serial fallbacks keep resolving graphs through the in-process
+    registry.
     """
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
@@ -200,12 +211,14 @@ def resilient_map(
 
             try:
                 mapped = map_subproblems(
-                    fn, [items[i] for i, _ in pending], tier, workers
+                    fn, [items[i] for i, _ in pending], tier, workers, pool=pool
                 )
             except Exception as exc:
                 if _is_degrade_error(exc):
                     report.executor_degradations += 1
                     report.record_error(exc)
+                    if pool is not None and pool.kind == tier:
+                        pool.mark_broken()
                     continue  # next tier re-runs all of pending
                 # a task failed inside the batch: isolate it below with the
                 # per-item path on this same tier
@@ -224,7 +237,7 @@ def resilient_map(
         else:
             pending, degraded = _run_pooled(
                 fn, items, pending, results, report, backoff, tier, workers,
-                timeout, max_retries, budget, fault_plan,
+                timeout, max_retries, budget, fault_plan, pool,
             )
             if degraded and tier_pos + 1 < len(tiers):
                 continue
@@ -261,23 +274,31 @@ def _run_serial(fn, items, pending, results, report, backoff, max_retries, budge
 
 def _run_pooled(
     fn, items, pending, results, report, backoff, tier, workers,
-    timeout, max_retries, budget, fault_plan,
+    timeout, max_retries, budget, fault_plan, pool=None,
 ):
     """Pooled tier: submit/collect rounds with timeouts and retry rounds.
 
     Returns ``(still_pending, degraded)``; ``degraded`` means the pool (or
     pickling) broke and the remaining items should move to the next tier.
+    A persistent ``pool`` whose kind matches the tier is borrowed instead
+    of constructing a fresh executor (and is *not* shut down here); when
+    that borrowed pool breaks, ``mark_broken()`` notifies its owner.
     """
-    pool_cls = ProcessPoolExecutor if tier == "processes" else ThreadPoolExecutor
+    use_pool = pool is not None and pool.kind == tier and pool.usable()
     in_process = tier == "processes"
     queue = list(pending)
     try:
-        with pool_cls(max_workers=workers) as pool:
+        if use_pool:
+            cm = contextlib.nullcontext(pool.executor)
+        else:
+            pool_cls = ProcessPoolExecutor if tier == "processes" else ThreadPoolExecutor
+            cm = pool_cls(max_workers=workers)
+        with cm as ex:
             while queue:
                 futures = []
                 for i, attempt in queue:
                     futures.append(
-                        (i, attempt, pool.submit(_fault_call, fn, items[i], fault_plan, i, attempt, in_process))
+                        (i, attempt, ex.submit(_fault_call, fn, items[i], fault_plan, i, attempt, in_process))
                     )
                 retry_round: List[tuple[int, int]] = []
                 for pos, (i, attempt, fut) in enumerate(futures):
@@ -310,6 +331,8 @@ def _run_pooled(
                             # harvested moves to the next tier (no attempt used)
                             report.executor_degradations += 1
                             report.record_error(exc)
+                            if use_pool:
+                                pool.mark_broken()
                             unfinished = [(i, attempt)] + [(j, a) for j, a, _ in futures[pos + 1 :]]
                             return unfinished + retry_round, True
                         report.failures += 1
@@ -325,4 +348,6 @@ def _run_pooled(
     except _DEGRADE_ERRORS as exc:  # pool construction / shutdown failure
         report.executor_degradations += 1
         report.record_error(exc)
+        if use_pool:
+            pool.mark_broken()
         return queue, True

@@ -61,6 +61,36 @@ class TestPartition:
         assert "cells=" in capsys.readouterr().out
 
 
+class TestExecutorFlags:
+    def test_partition_executor_backends_agree(self, gr_file, tmp_path, capsys):
+        """--executor serial/threads/processes write identical labels."""
+        paths = {}
+        for backend in ("serial", "threads", "processes"):
+            out = tmp_path / f"labels_{backend}.txt"
+            rc = main(
+                [
+                    "partition", gr_file, "-U", "100", "--seed", "1",
+                    "--multistart", "3",
+                    "--executor", backend, "--workers", "2",
+                    "-o", str(out),
+                ]
+            )
+            assert rc == 0
+            paths[backend] = np.loadtxt(out, dtype=int)
+        capsys.readouterr()
+        assert np.array_equal(paths["serial"], paths["threads"])
+        assert np.array_equal(paths["serial"], paths["processes"])
+
+    def test_invalid_workers_rejected(self, gr_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "partition", gr_file, "-U", "100",
+                    "--executor", "threads", "--workers", "0",
+                ]
+            )
+
+
 class TestBalanced:
     def test_balanced_run(self, gr_file, capsys):
         rc = main(

@@ -1,0 +1,183 @@
+"""The determinism contract: serial = threads = processes, bit for bit.
+
+Enabling the parallel runtime must never change the answer depending on the
+backend.  These tests pin (1) natural-cut detection: every backend produces
+exactly the legacy cut-edge set, and (2) the end-to-end drivers: partitions
+are bit-identical across all three backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    AssemblyConfig,
+    BalancedConfig,
+    ParallelConfig,
+    PunchConfig,
+    RuntimeConfig,
+)
+from repro.core.punch import run_punch
+from repro.filtering.natural_cuts import detect_natural_cuts
+from repro.parallel import ParallelRuntime
+from repro.synthetic import instance
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+@pytest.fixture(scope="module")
+def lux():
+    return instance("luxembourg_like")
+
+
+class TestNaturalCutDeterminism:
+    def test_backends_match_legacy_cut_edges(self, lux):
+        ids0, stats0 = detect_natural_cuts(lux, 150, rng=np.random.default_rng(3))
+        for backend in BACKENDS:
+            with ParallelRuntime(ParallelConfig(backend=backend, workers=2)) as rt:
+                ids, stats = detect_natural_cuts(
+                    lux, 150, rng=np.random.default_rng(3), parallel=rt
+                )
+            assert np.array_equal(ids, ids0), backend
+            assert stats.problems_solved == stats0.problems_solved, backend
+
+    def test_worker_count_does_not_matter(self, lux):
+        """Batch geometry (1 vs 3 workers) must not change the cut set."""
+        outs = []
+        for workers in (1, 3):
+            with ParallelRuntime(ParallelConfig(backend="processes", workers=workers)) as rt:
+                ids, _ = detect_natural_cuts(
+                    lux, 150, rng=np.random.default_rng(3), parallel=rt
+                )
+            outs.append(ids)
+        assert np.array_equal(outs[0], outs[1])
+
+
+class TestEndToEndDeterminism:
+    def test_run_punch_bit_identical_across_backends(self, lux):
+        """Multistart + combination on the pool: same partition everywhere."""
+        labels = {}
+        costs = {}
+        for backend in BACKENDS:
+            cfg = PunchConfig(
+                assembly=AssemblyConfig(multistart=4),
+                seed=7,
+                parallel=ParallelConfig(backend=backend, workers=2),
+            )
+            res = run_punch(lux, 150, cfg)
+            labels[backend] = res.partition.labels
+            costs[backend] = res.cost
+        assert np.array_equal(labels["serial"], labels["threads"])
+        assert np.array_equal(labels["serial"], labels["processes"])
+        assert costs["serial"] == costs["threads"] == costs["processes"]
+
+    def test_balanced_bit_identical_across_backends(self, lux):
+        from repro.balanced.driver import run_balanced_punch
+
+        labels = {}
+        for backend in BACKENDS:
+            cfg = BalancedConfig(
+                seed=11, parallel=ParallelConfig(backend=backend, workers=2)
+            )
+            res = run_balanced_punch(lux, 8, 0.05, cfg)
+            assert res.feasible()
+            labels[backend] = res.partition.labels
+        assert np.array_equal(labels["serial"], labels["threads"])
+        assert np.array_equal(labels["serial"], labels["processes"])
+
+    def test_parallel_report_present_only_when_parallel(self, lux):
+        cfg = PunchConfig(seed=7)
+        res = run_punch(lux, 150, cfg)
+        assert res.parallel_report == {}
+        assert "parallel" not in res.run_report()
+
+        cfg = PunchConfig(seed=7, parallel=ParallelConfig(backend="threads", workers=2))
+        res = run_punch(lux, 150, cfg)
+        assert res.parallel_report.get("backend") == "threads"
+        assert res.run_report()["parallel"]["backend"] == "threads"
+
+
+class TestParallelCheckpointResume:
+    """Checkpoint/resume at the assembly level, on a fixed fragment graph.
+
+    (A whole-run budget also truncates *filtering*, which changes the
+    fragment graph and thus invalidates the multistart checkpoint — so the
+    resume contract is exercised where it is defined: on one graph.)
+    """
+
+    @pytest.fixture()
+    def frag(self, lux):
+        from repro.core.config import FilterConfig
+        from repro.filtering.pipeline import run_filtering
+
+        return run_filtering(
+            lux, 150, FilterConfig(), np.random.default_rng(3)
+        ).fragment_graph
+
+    def test_interrupted_run_resumes_from_wave_checkpoint(self, frag, tmp_path):
+        """A budget-expired parallel multistart leaves a resumable checkpoint."""
+        from repro.assembly.multistart import multistart
+        from repro.runtime.budget import RunBudget
+
+        ckpt = tmp_path / "ms.ckpt"
+        cfg = AssemblyConfig(multistart=6)
+
+        with ParallelRuntime(ParallelConfig(backend="threads", workers=2)) as rt:
+            best1, stats1 = multistart(
+                frag,
+                150,
+                cfg,
+                np.random.default_rng(13),
+                runtime=RuntimeConfig(checkpoint_path=str(ckpt)),
+                budget=RunBudget(1e-6),
+                parallel=rt,
+            )
+        assert best1 is not None  # anytime guarantee held
+        assert stats1.deadline_expired
+        assert ckpt.exists()
+
+        with ParallelRuntime(ParallelConfig(backend="threads", workers=2)) as rt:
+            best2, stats2 = multistart(
+                frag,
+                150,
+                cfg,
+                np.random.default_rng(13),
+                runtime=RuntimeConfig(checkpoint_path=str(ckpt), resume=True),
+                parallel=rt,
+            )
+        assert stats2.resumed_at >= 0
+        assert not stats2.deadline_expired
+        assert best2.cost <= best1.cost
+
+    def test_legacy_checkpoint_falls_back_to_sequential_loop(self, frag, tmp_path):
+        """A checkpoint written without start_seeds resumes via the legacy path."""
+        from repro.assembly.multistart import multistart
+        from repro.runtime.budget import RunBudget
+
+        ckpt = tmp_path / "legacy.ckpt"
+        cfg = AssemblyConfig(multistart=6)
+
+        # sequential (parallel=None) interrupted run -> seed-less checkpoint
+        _, stats1 = multistart(
+            frag,
+            150,
+            cfg,
+            np.random.default_rng(13),
+            runtime=RuntimeConfig(checkpoint_path=str(ckpt), checkpoint_every=1),
+            budget=RunBudget(1e-6),
+        )
+        assert ckpt.exists()
+
+        # resuming *with* a parallel runtime must hand off to the legacy loop
+        with ParallelRuntime(ParallelConfig(backend="threads", workers=2)) as rt:
+            best, stats2 = multistart(
+                frag,
+                150,
+                cfg,
+                np.random.default_rng(13),
+                runtime=RuntimeConfig(checkpoint_path=str(ckpt), resume=True),
+                parallel=rt,
+            )
+        assert best is not None
+        assert stats2.resumed_at >= 0

@@ -1,0 +1,219 @@
+"""WorkerPool, LPT scheduling, ParallelRuntime lifecycle, and degradation."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.config import ParallelConfig, PunchConfig, RuntimeConfig
+from repro.parallel import ParallelRuntime, WorkerPool, lpt_batches, resolve_graph
+from repro.runtime.executor import resilient_map
+from repro.runtime.faults import FaultPlan
+
+from .conftest import make_graph, random_connected_graph
+
+
+def _probe_item(arg):
+    """Module-level task (stays picklable): resolve the graph, do some work."""
+    x, handle = arg
+    g = resolve_graph(handle)
+    return int(g.n) + x
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+class TestLptBatches:
+    def test_partitions_all_indices(self):
+        costs = [5, 1, 9, 2, 7, 3, 8]
+        batches = lpt_batches(costs, 3)
+        flat = sorted(i for b in batches for i in b)
+        assert flat == list(range(len(costs)))
+
+    def test_largest_first_balanced(self):
+        costs = [10, 10, 10, 1, 1, 1]
+        batches = lpt_batches(costs, 3)
+        loads = sorted(sum(costs[i] for i in b) for b in batches)
+        assert loads == [11, 11, 11]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        costs = rng.integers(1, 100, size=40).tolist()
+        assert lpt_batches(costs, 5) == lpt_batches(costs, 5)
+
+    def test_drops_empty_batches(self):
+        assert lpt_batches([3.0, 1.0], 8) == [[0], [1]]
+
+    def test_empty_input(self):
+        assert lpt_batches([], 4) == []
+
+    def test_invalid_batch_count(self):
+        with pytest.raises(ValueError):
+            lpt_batches([1.0], 0)
+
+
+class TestWorkerPool:
+    def test_threads_map_preserves_order(self):
+        with WorkerPool(workers=4, kind="threads") as pool:
+            out = pool.map_ordered(lambda x: x * x, list(range(20)))
+        assert out == [i * i for i in range(20)]
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="pool kind"):
+            WorkerPool(kind="fibers")
+
+    def test_mark_broken_fires_callback_once(self):
+        calls = []
+        pool = WorkerPool(workers=1, kind="threads", on_broken=lambda: calls.append(1))
+        assert pool.usable()
+        pool.mark_broken()
+        pool.mark_broken()
+        assert not pool.usable()
+        assert calls == [1]
+
+
+class TestParallelRuntime:
+    def test_serial_backend_has_no_pool(self):
+        with ParallelRuntime(ParallelConfig(backend="serial")) as rt:
+            assert not rt.active()
+            assert rt.pool() is None
+            g = make_graph(3, [(0, 1), (1, 2)])
+            handle = rt.share(g)
+            assert not handle.is_shared
+            assert resolve_graph(handle) is g
+
+    def test_share_is_memoized(self):
+        g = random_connected_graph(30, 20, seed=1)
+        with ParallelRuntime(ParallelConfig(backend="processes", workers=1)) as rt:
+            h1 = rt.share(g)
+            h2 = rt.share(g)
+            assert h1 is h2
+            assert h1.is_shared
+            # the driver resolves its own handle to the original object
+            assert resolve_graph(h1) is g
+
+    def test_close_unlinks_and_unregisters(self):
+        g = random_connected_graph(30, 20, seed=2)
+        rt = ParallelRuntime(ParallelConfig(backend="processes", workers=1))
+        handle = rt.share(g)
+        names = rt.active_segment_names()
+        assert names and all(_segment_exists(n) for n in names)
+        rt.close()
+        assert not any(_segment_exists(n) for n in names)
+        # the registry entry is gone and the segments are unlinked, so the
+        # handle is dead in every process
+        with pytest.raises(FileNotFoundError):
+            resolve_graph(handle)
+        rt.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            rt.share(g)
+
+    def test_report_counters(self):
+        with ParallelRuntime(ParallelConfig(backend="threads", workers=2)) as rt:
+            rt.note_batch({"cache_hits": 3, "cache_misses": 5})
+            rt.note_batch(None)
+            report = rt.report()
+        assert report["backend"] == "threads"
+        assert report["workers"] == 2
+        assert report["batches"] == 2
+        assert report["worker_cache_hits"] == 3
+        assert report["worker_cache_misses"] == 5
+
+    def test_pool_reuse_same_object(self):
+        with ParallelRuntime(ParallelConfig(backend="threads", workers=2)) as rt:
+            assert rt.pool() is rt.pool()
+
+
+class TestResilientMapPooling:
+    def test_pool_fast_path_used(self):
+        with ParallelRuntime(ParallelConfig(backend="threads", workers=2)) as rt:
+            results, report = resilient_map(
+                lambda x: x + 1,
+                list(range(10)),
+                executor="threads",
+                workers=2,
+                pool=rt.pool(),
+            )
+        assert results == list(range(1, 11))
+        assert report.final_executor == "threads"
+
+    def test_kind_mismatch_falls_back_to_fresh_executor(self):
+        with ParallelRuntime(ParallelConfig(backend="threads", workers=2)) as rt:
+            results, _ = resilient_map(
+                lambda x: x * 2, [1, 2, 3], executor="serial", pool=rt.pool()
+            )
+        assert results == [2, 4, 6]
+
+
+class TestDegradation:
+    def test_worker_crash_degrades_and_releases_segments(self):
+        """A dying pool worker must not leak /dev/shm segments.
+
+        crash_rate=1 on the "process" site hard-kills workers on first
+        attempt; resilient_map degrades processes -> threads -> serial,
+        the pool is marked broken, and the runtime unlinks every export
+        while the registry keeps resolving for the fallback tiers.
+        """
+        g = random_connected_graph(40, 30, seed=3)
+        plan = FaultPlan(seed=1, crash_rate=1.0, sites=("process",))
+        with ParallelRuntime(ParallelConfig(backend="processes", workers=2)) as rt:
+            handle = rt.share(g)
+            names = rt.active_segment_names()
+            assert names
+
+            results, report = resilient_map(
+                _probe_item,
+                [(x, handle) for x in range(6)],
+                executor="processes",
+                workers=2,
+                fault_plan=plan,
+                pool=rt.pool(),
+            )
+            # results are still correct, computed by a fallback tier
+            assert results == [40 + x for x in range(6)]
+            assert report.final_executor in ("threads", "serial")
+            assert report.executor_degradations >= 1
+            # the broken pool released every shared segment...
+            assert rt.pool_breaks == 1
+            assert rt.active_segment_names() == []
+            for name in names:
+                assert not _segment_exists(name)
+            # ...and the runtime refuses to hand the broken pool out again
+            assert rt.pool() is None
+            # a later share() re-exports fresh segments
+            h2 = rt.share(g)
+            assert h2.is_shared and h2.token != handle.token
+            fresh = rt.active_segment_names()
+            assert fresh and all(_segment_exists(n) for n in fresh)
+        assert not any(_segment_exists(n) for n in fresh)
+
+    def test_run_punch_survives_crashing_workers_without_leaks(self):
+        """End-to-end: crash faults during a parallel run leave no segments."""
+        from repro.core.punch import run_punch
+
+        g = random_connected_graph(120, 60, seed=4)
+        cfg = PunchConfig(
+            seed=9,
+            parallel=ParallelConfig(backend="processes", workers=2),
+            runtime=RuntimeConfig(
+                fault_plan=FaultPlan(seed=2, crash_rate=1.0, sites=("process",))
+            ),
+        )
+        rt = ParallelRuntime(cfg.parallel)
+        try:
+            res = run_punch(g, 30, cfg, parallel=rt)
+            names_during = rt.active_segment_names()
+        finally:
+            rt.close()
+        assert res.partition.num_cells >= 1
+        assert rt.pool_breaks >= 1
+        assert not any(_segment_exists(n) for n in names_during)
+        assert rt.active_segment_names() == []

@@ -1,0 +1,228 @@
+"""SharedGraph round-trip, lifecycle, and leak tests."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import subprocess
+import sys
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph
+from repro.parallel import (
+    AttachedGraph,
+    SharedGraph,
+    SharedGraphHandle,
+    attach_shared_graph,
+)
+
+from .conftest import make_graph
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+def _weighted_graph(rows=6, cols=7):
+    rng = np.random.default_rng(5)
+    idx = lambda r, c: r * cols + c  # noqa: E731
+    edges = [(idx(r, c), idx(r, c + 1)) for r in range(rows) for c in range(cols - 1)]
+    edges += [(idx(r, c), idx(r + 1, c)) for r in range(rows - 1) for c in range(cols)]
+    n, m = rows * cols, len(edges)
+    u = np.asarray([e[0] for e in edges], dtype=np.int64)
+    v = np.asarray([e[1] for e in edges], dtype=np.int64)
+    return build_graph(
+        n,
+        u,
+        v,
+        weights=rng.integers(1, 9, size=m).astype(np.float64),
+        sizes=rng.integers(1, 4, size=n),
+        coords=rng.random((n, 2)),
+    )
+
+
+class TestRoundTrip:
+    def test_views_equal_original(self):
+        g = _weighted_graph()
+        with SharedGraph(g) as sg:
+            att = attach_shared_graph(sg.handle)
+            h = att.graph
+            assert h.n == g.n and h.m == g.m
+            for field, arr in g.shared_arrays().items():
+                got = h.shared_arrays()[field]
+                assert np.array_equal(got, arr), field
+            # the memoized gather must round-trip too (workers never rebuild it)
+            assert np.array_equal(h.half_edge_weights(), g.half_edge_weights())
+            att.close()
+
+    def test_views_are_read_only(self):
+        g = _weighted_graph()
+        with SharedGraph(g) as sg:
+            att = attach_shared_graph(sg.handle)
+            for arr in att.graph.shared_arrays().values():
+                assert not arr.flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    arr[...] = 0
+            att.close()
+
+    def test_handle_is_small_and_picklable(self):
+        import pickle
+
+        g = _weighted_graph()
+        with SharedGraph(g) as sg:
+            blob = pickle.dumps(sg.handle)
+            assert len(blob) < 2000  # names + dtypes + shapes, never arrays
+            clone = pickle.loads(blob)
+            assert clone == sg.handle
+            assert clone.is_shared
+
+    def test_empty_edge_set(self):
+        # m == 0 still needs valid (1-byte) segments for the edge arrays
+        g = make_graph(3, [])
+        with SharedGraph(g) as sg:
+            att = attach_shared_graph(sg.handle)
+            assert att.graph.n == 3
+            assert att.graph.m == 0
+            att.close()
+
+
+class TestLifecycle:
+    def test_close_unlinks_all_segments(self):
+        g = _weighted_graph()
+        sg = SharedGraph(g)
+        names = sg.segment_names()
+        assert names and all(_segment_exists(n) for n in names)
+        sg.close()
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_double_close_raises(self):
+        sg = SharedGraph(_weighted_graph())
+        sg.close()
+        with pytest.raises(RuntimeError, match="already closed"):
+            sg.close()
+
+    def test_context_manager_tolerates_inner_close(self):
+        with SharedGraph(_weighted_graph()) as sg:
+            sg.close()  # __exit__ must not double-close
+
+    def test_attach_after_close_raises(self):
+        sg = SharedGraph(_weighted_graph())
+        handle = sg.handle
+        sg.close()
+        with pytest.raises(FileNotFoundError):
+            attach_shared_graph(handle)
+
+    def test_attached_double_close_raises(self):
+        with SharedGraph(_weighted_graph()) as sg:
+            att = attach_shared_graph(sg.handle)
+            att.close()
+            with pytest.raises(RuntimeError, match="already closed"):
+                att.close()
+
+    def test_attached_close_does_not_unlink(self):
+        with SharedGraph(_weighted_graph()) as sg:
+            att = attach_shared_graph(sg.handle)
+            att.close()
+            assert all(_segment_exists(n) for n in sg.segment_names())
+
+    def test_local_handle_cannot_attach(self):
+        handle = SharedGraphHandle(token="local-x", n=3, m=2)
+        assert not handle.is_shared
+        with pytest.raises(ValueError, match="local-only"):
+            AttachedGraph(handle)
+
+    def test_finalizer_unlinks_on_gc(self):
+        import gc
+
+        sg = SharedGraph(_weighted_graph())
+        names = sg.segment_names()
+        del sg
+        gc.collect()
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_nbytes_positive(self):
+        g = _weighted_graph()
+        with SharedGraph(g) as sg:
+            assert sg.nbytes() >= sum(a.nbytes for a in g.shared_arrays().values())
+
+
+_SPAWN_CHILD = """
+import json, sys
+import numpy as np
+from repro.parallel import SharedGraphHandle, attach_shared_graph
+
+spec = json.loads(sys.stdin.read())
+handle = SharedGraphHandle(
+    token=spec["token"], n=spec["n"], m=spec["m"],
+    blocks=tuple((f, name, dt, tuple(shape)) for f, name, dt, shape in spec["blocks"]),
+)
+att = attach_shared_graph(handle)
+g = att.graph
+print(json.dumps({
+    "n": g.n, "m": g.m,
+    "weight": float(g.total_weight()),
+    "xadj_sum": int(g.xadj.sum()),
+}))
+att.close()
+"""
+
+
+class TestCrossProcess:
+    def test_fresh_interpreter_attach(self):
+        """A brand-new interpreter (spawn semantics) sees identical data."""
+        g = _weighted_graph()
+        with SharedGraph(g) as sg:
+            spec = {
+                "token": sg.handle.token,
+                "n": sg.handle.n,
+                "m": sg.handle.m,
+                "blocks": [list(b) for b in sg.handle.blocks],
+            }
+            src = str(Path(__file__).resolve().parent.parent / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", _SPAWN_CHILD],
+                input=json.dumps(spec),
+                capture_output=True,
+                text=True,
+                timeout=120,
+                env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            )
+            assert proc.returncode == 0, proc.stderr
+            out = json.loads(proc.stdout)
+        assert out["n"] == g.n and out["m"] == g.m
+        assert out["weight"] == pytest.approx(float(g.total_weight()))
+        assert out["xadj_sum"] == int(g.xadj.sum())
+
+    @pytest.mark.skipif(
+        "spawn" not in multiprocessing.get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_pool_attach(self):
+        """Handles survive pickling into spawn-started workers."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        g = _weighted_graph()
+        ctx = multiprocessing.get_context("spawn")
+        with SharedGraph(g) as sg:
+            with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as ex:
+                n, m, w = ex.submit(_spawn_probe, sg.handle).result(timeout=120)
+        assert (n, m) == (g.n, g.m)
+        assert w == pytest.approx(float(g.total_weight()))
+
+
+def _spawn_probe(handle):
+    att = attach_shared_graph(handle)
+    try:
+        g = att.graph
+        return g.n, g.m, float(g.total_weight())
+    finally:
+        att.close()
