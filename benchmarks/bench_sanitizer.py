@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Sanitizer overhead gate: a sanitized run must cost <= 5% extra.
+
+Standalone script (not a pytest bench):
+
+    python benchmarks/bench_sanitizer.py            # CI gate (default size)
+    REPRO_BENCH_FULL=1 python benchmarks/bench_sanitizer.py   # bigger instance
+
+Runs the same unbalanced PUNCH instance with the runtime sanitizer off and
+on, interleaved (off/on pairs) so drift hits both sides equally, and gates
+on the ratio of per-side minima: scheduler noise on a shared box is strictly
+additive, so the minimum over rounds is the robust estimator of true cost
+(medians were observed to swing +-10% on CI-class machines while the actual
+hook cost is ~0.1%).  Also asserts the two runs produce the identical
+partition — the sanitizer must observe, never steer — and that the
+sanitized runs record zero violations.  Results land in
+``BENCH_sanitizer.json`` at the repo root.
+
+Exit status is non-zero when the median overhead exceeds ``OVERHEAD_LIMIT``
+(the CI lint-gate budget documented in ``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import AssemblyConfig, PunchConfig  # noqa: E402
+from repro.core.punch import run_punch  # noqa: E402
+from repro.lint.sanitizer import Sanitizer, set_sanitizer  # noqa: E402
+from repro.synthetic import road_network  # noqa: E402
+
+FULL = bool(os.environ.get("REPRO_BENCH_FULL", ""))
+OVERHEAD_LIMIT = 0.05
+ROUNDS = 5
+
+
+def timed_run(g, U, cfg, sanitize: bool) -> tuple[float, object]:
+    prev = set_sanitizer(Sanitizer(enabled=sanitize))
+    try:
+        t0 = time.perf_counter()
+        res = run_punch(g, U, cfg)
+        elapsed = time.perf_counter() - t0
+        if sanitize:
+            rep = res.run_report()["sanitizer"]
+            assert rep["violations"] == [], rep["violations"]
+    finally:
+        set_sanitizer(prev)
+    return elapsed, res
+
+
+def main() -> int:
+    n_target = 20_000 if FULL else 6_000
+    g = road_network(n_target=n_target, seed=11)
+    U = 512
+    cfg = PunchConfig(seed=5, assembly=AssemblyConfig(multistart=2))
+
+    # warm-up (imports, memoized gathers) outside the timed pairs
+    timed_run(g, U, cfg, sanitize=False)
+
+    base_times = []
+    san_times = []
+    baseline = None
+    for _ in range(ROUNDS):
+        t_off, res_off = timed_run(g, U, cfg, sanitize=False)
+        t_on, res_on = timed_run(g, U, cfg, sanitize=True)
+        base_times.append(t_off)
+        san_times.append(t_on)
+        if baseline is None:
+            baseline = res_off.partition.labels
+        assert np.array_equal(res_off.partition.labels, res_on.partition.labels), (
+            "sanitizer changed the partition"
+        )
+        assert np.array_equal(baseline, res_off.partition.labels)
+
+    base = min(base_times)
+    san = min(san_times)
+    overhead = san / base - 1.0
+
+    doc = {
+        "instance": {"n": g.n, "m": g.m, "U": U, "multistart": 2},
+        "rounds": ROUNDS,
+        "baseline_s": base,
+        "sanitized_s": san,
+        "baseline_times": base_times,
+        "sanitized_times": san_times,
+        "overhead": overhead,
+        "limit": OVERHEAD_LIMIT,
+    }
+    out = REPO_ROOT / "BENCH_sanitizer.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(
+        f"sanitizer overhead: {overhead * 100:.2f}% "
+        f"(baseline {base:.3f}s, sanitized {san:.3f}s, limit {OVERHEAD_LIMIT * 100:.0f}%)"
+    )
+    print(f"wrote {out}")
+    if overhead > OVERHEAD_LIMIT:
+        print("FAIL: sanitizer overhead exceeds the budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,7 +118,7 @@ class PartitionState:
         """
         g = self.g
         old_frags: Set[int] = set()
-        for c in destroyed:
+        for c in destroyed:  # repro: noqa(REPRO104) — set union, order-free
             old_frags.update(self.cell_members[c])
         new_frags: Set[int] = set()
         for mem in new_cells.values():
@@ -127,7 +127,7 @@ class PartitionState:
             raise ValueError("replacement does not cover the same fragments")
 
         # drop destroyed rows, their mirror entries, and their cached arrays
-        for c in destroyed:
+        for c in destroyed:  # repro: noqa(REPRO104) — removals commute
             for d in self.H.pop(c, {}):
                 if d not in destroyed:
                     self.H[d].pop(c, None)

@@ -39,6 +39,7 @@ from ..core.partition import Partition
 from ..core.result import BalancedResult
 from ..filtering.pipeline import run_filtering
 from ..graph.graph import Graph
+from ..lint.sanitizer import get_sanitizer
 from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
 from ..runtime.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
@@ -303,6 +304,12 @@ def balanced_from_fragments(
         raise RuntimeError(f"balanced PUNCH failed to rebalance any solution; {hint}")
 
     partition = Partition(g, best_labels[frag_map])
+    # rebalancing may disconnect cells (paper Section 4), so only the size
+    # bound and the fragment-to-input cost projection are asserted here
+    get_sanitizer().check_partition(
+        "balanced", g, partition.labels, U=U_star,
+        expected_cost=best_cost, require_connected=False,
+    )
     return BalancedResult(
         partition=partition,
         k=k,
@@ -455,6 +462,12 @@ def _balanced_parallel(
         raise RuntimeError(f"balanced PUNCH failed to rebalance any solution; {hint}")
 
     partition = Partition(g, best_labels[frag_map])
+    # same invariants as the sequential loop: pooled starts must not change
+    # what a valid balanced solution looks like
+    get_sanitizer().check_partition(
+        "balanced.parallel", g, partition.labels, U=U_star,
+        expected_cost=best_cost, require_connected=False,
+    )
     return BalancedResult(
         partition=partition,
         k=k,

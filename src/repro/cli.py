@@ -65,6 +65,12 @@ def _add_runtime_flags(sp) -> None:
         help="collect per-phase wall/CPU timings and print the breakdown",
     )
     sp.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="runtime sanitizer: freeze shared views, verify RNG draw parity "
+        "and partition invariants (≤5%% overhead; see docs/STATIC_ANALYSIS.md)",
+    )
+    sp.add_argument(
         "--executor",
         choices=("serial", "threads", "processes"),
         default=None,
@@ -113,6 +119,33 @@ def _enable_profiling(args):
 def _print_profile(prof) -> None:
     if prof is not None:
         print(prof.report())
+
+
+def _enable_sanitizer(args):
+    """Arm the runtime sanitizer when ``--sanitize`` was given."""
+    if not getattr(args, "sanitize", False):
+        return None
+    from .lint.sanitizer import get_sanitizer
+
+    san = get_sanitizer()
+    san.reset()
+    san.enabled = True
+    return san
+
+
+def _print_sanitizer(san) -> int:
+    """Print the sanitizer verdict; returns 1 when violations were found."""
+    if san is None:
+        return 0
+    rep = san.report()
+    checks = sum(rep["checks"].values())
+    if not rep["violations"]:
+        print(f"sanitizer: {checks} check(s), 0 violations")
+        return 0
+    print(f"sanitizer: {checks} check(s), {len(rep['violations'])} VIOLATION(S):")
+    for v in rep["violations"]:
+        print(f"  [{v['phase']}] {v['kind']}: {v['message']}")
+    return 1
 
 
 def _load_graph(path: str):
@@ -183,14 +216,16 @@ def cmd_partition(args) -> int:
         seed=args.seed,
     )
     prof = _enable_profiling(args)
+    san = _enable_sanitizer(args)
     res = run_punch(g, args.U, cfg)
     print(res.summary())
     print(f"cells connected: {res.partition.all_cells_connected()}")
     _print_profile(prof)
+    rc = _print_sanitizer(san)
     if args.output:
         _write_labels(res.partition.labels, args.output)
         print(f"wrote labels to {args.output}")
-    return 0
+    return rc
 
 
 def cmd_balanced(args) -> int:
@@ -207,13 +242,15 @@ def cmd_balanced(args) -> int:
         seed=args.seed,
     )
     prof = _enable_profiling(args)
+    san = _enable_sanitizer(args)
     res = run_balanced_punch(g, args.k, args.epsilon, cfg)
     print(res.summary())
     _print_profile(prof)
+    rc = _print_sanitizer(san)
     if args.output:
         _write_labels(res.partition.labels, args.output)
         print(f"wrote labels to {args.output}")
-    return 0
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -19,6 +19,7 @@ from ..filtering.pipeline import run_filtering
 from ..graph.components import connected_components
 from ..graph.graph import Graph
 from ..graph.subgraph import induced_subgraph
+from ..lint.sanitizer import get_sanitizer
 from ..runtime.budget import RunBudget
 from .config import PunchConfig
 from .partition import Partition
@@ -86,6 +87,12 @@ def run_punch(
 
         labels = asm.labels[filt.map]
         partition = Partition(g, labels)
+        # assembly reports its cost on the fragment graph; projecting through
+        # filt.map must conserve it exactly (boundary-edge accounting), and
+        # PUNCH cells are connected by construction in the unbalanced case
+        get_sanitizer().check_partition(
+            "punch", g, partition.labels, U=U, expected_cost=asm.cost
+        )
         return PunchResult(
             partition=partition,
             U=U,
@@ -147,6 +154,9 @@ def _run_per_component(
         last_stats = res.assembly_stats
     partition = Partition(g, labels)
     assert last_filt is not None, "empty graph has no components to partition"
+    # per-component sub-runs already checked cost accounting; the merged
+    # labeling still has to respect the bound and keep cells connected
+    get_sanitizer().check_partition("punch.components", g, partition.labels, U=U)
     return PunchResult(
         partition=partition,
         U=U,

@@ -8,9 +8,18 @@ from typing import Optional
 
 from ..assembly.multistart import MultistartStats
 from ..filtering.pipeline import FilterResult
+from ..lint.sanitizer import get_sanitizer
 from .partition import Partition
 
 __all__ = ["PunchResult", "BalancedResult"]
+
+
+def _sanitizer_section(report: dict) -> dict:
+    """Attach ``report["sanitizer"]`` when the runtime sanitizer is active."""
+    san = get_sanitizer()
+    if san.enabled:
+        report["sanitizer"] = san.report()
+    return report
 
 
 @dataclass
@@ -66,7 +75,7 @@ class PunchResult:
                 report[f"assembly_{key}" if key in report else key] = value
         if self.parallel_report:
             report["parallel"] = dict(self.parallel_report)
-        return report
+        return _sanitizer_section(report)
 
     def summary(self) -> str:
         """One-line human-readable result summary."""
@@ -77,9 +86,10 @@ class PunchResult:
             f"{self.time_assembly:.1f}s"
         )
         incidents = self.run_report()
-        # the cut-cache and worker-pool counters are informational, not incidents
+        # the cut-cache, worker-pool, and sanitizer sections are informational
         incidents.pop("cut_cache", None)
         incidents.pop("parallel", None)
+        incidents.pop("sanitizer", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
             line += f" [resilience: {detail}]"
@@ -128,7 +138,7 @@ class BalancedResult:
             report["checkpoints_written"] = self.checkpoints_written
         if self.parallel_report:
             report["parallel"] = dict(self.parallel_report)
-        return report
+        return _sanitizer_section(report)
 
     def summary(self) -> str:
         line = (
@@ -139,6 +149,7 @@ class BalancedResult:
         incidents = self.run_report()
         incidents.pop("cut_cache", None)
         incidents.pop("parallel", None)
+        incidents.pop("sanitizer", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
             line += f" [resilience: {detail}]"

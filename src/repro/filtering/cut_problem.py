@@ -170,7 +170,9 @@ def build_cut_problem_reference(
     cand_edges = []
     cand_lu = []
     cand_lv = []
-    for e in eids:
+    # sorted: candidate order feeds min-cut tie-breaking downstream, so it
+    # must be canonical, not hash-table order
+    for e in sorted(eids):
         u = int(edge_u[e])
         w = int(edge_v[e])
         lu = local.get(u)

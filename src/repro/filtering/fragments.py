@@ -47,10 +47,13 @@ def split_oversized(g: Graph, labels: np.ndarray, U: int) -> tuple[np.ndarray, i
     next_label = k
     for grp in oversized:
         members = np.flatnonzero(labels == grp)
-        member_set = set(int(v) for v in members)
-        unassigned = set(member_set)
-        while unassigned:
-            start = next(iter(unassigned))
+        unassigned = set(int(v) for v in members)
+        # seed chunks in ascending vertex id — a set pop here would make the
+        # slicing (and thus the fragment graph) depend on hash-table order
+        for start in members:
+            start = int(start)
+            if start not in unassigned:
+                continue
             chunk = [start]
             unassigned.discard(start)
             acc = int(g.vsize[start])

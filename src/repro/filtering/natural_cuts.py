@@ -41,6 +41,7 @@ import numpy as np
 from ..core.config import RuntimeConfig
 from ..graph.graph import Graph
 from ..graph.traversal import BFSWorkspace, grow_bfs_region
+from ..lint.sanitizer import get_sanitizer
 from ..perf.cut_cache import CutCache
 from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
@@ -134,7 +135,14 @@ def _collect_sweep(
     ws = BFSWorkspace(g.n)
     covered = np.zeros(g.n, dtype=bool)
     out: list = []
-    for sweep_pos, center in enumerate(rng.permutation(g.n)):
+    # one permutation per sweep is the declared draw contract of BOTH modes
+    # (build=True legacy, build=False pooled) — the serial≡parallel anchor;
+    # the sanitizer replays the declaration and flags any divergence
+    san = get_sanitizer()
+    rng_token = san.rng_begin(rng)
+    order = rng.permutation(g.n)
+    san.rng_end("filter.sweep", rng, rng_token, [("permutation", g.n)])
+    for sweep_pos, center in enumerate(order):
         if (
             budget is not None
             and sweep_pos % 64 == 0

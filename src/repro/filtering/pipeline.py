@@ -18,6 +18,7 @@ import numpy as np
 from ..core.config import FilterConfig, RuntimeConfig
 from ..graph.contraction import ContractionChain
 from ..graph.graph import Graph
+from ..lint.sanitizer import get_sanitizer
 from ..perf.cut_cache import CutCache
 from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
@@ -111,6 +112,11 @@ def run_filtering(
     if budget is None and runtime is not None and runtime.time_budget is not None:
         budget = runtime.make_budget()
 
+    # under --sanitize, in-place writes through any view of the input arrays
+    # raise at the offending statement instead of corrupting shared segments
+    san = get_sanitizer()
+    san.freeze_graph(g, "filter.input")
+
     chain = ContractionChain(g)
 
     tiny_stats = None
@@ -158,6 +164,9 @@ def run_filtering(
         labels, frag_stats = fragment_labels(chain.current, np.arange(chain.current.m), U)
         chain.apply(labels)
     time_natural = time.perf_counter() - t0
+
+    san.check_fragments("filtering", chain.current, g, U)
+    san.freeze_graph(chain.current, "filter.fragments")
 
     return FilterResult(
         fragment_graph=chain.current,

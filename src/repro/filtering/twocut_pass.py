@@ -63,13 +63,14 @@ class _SizeBoundedUF:
 
     def union_all(self, members: np.ndarray) -> bool:
         """Union all members if the combined group fits in ``U``."""
-        roots = {self.find(int(v)) for v in members}
+        # sorted: the smallest root becomes the representative, so group ids
+        # never depend on set iteration order
+        roots = sorted({self.find(int(v)) for v in members})
         total = sum(int(self.size[r]) for r in roots)
         if total > self.U:
             return False
-        it = iter(roots)
-        base = next(it)
-        for r in it:
+        base = roots[0]
+        for r in roots[1:]:
             self.parent[r] = base
         self.size[base] = total
         return True
@@ -88,8 +89,9 @@ def class_components_bounded(
     such component: the rest of the graph, which we never want to traverse).
     """
     blocked = set(int(e) for e in class_edges)
+    blocked_ids = np.asarray(sorted(blocked), dtype=np.int64)
     seeds = np.unique(
-        np.concatenate([g.edge_u[list(blocked)], g.edge_v[list(blocked)]])
+        np.concatenate([g.edge_u[blocked_ids], g.edge_v[blocked_ids]])
     ).astype(np.int64)
 
     owner: Dict[int, int] = {}  # vertex -> traversal id (union-find on ids)

@@ -85,7 +85,9 @@ def contract(
         new_coords = np.stack([cx, cy], axis=1)
 
     new_g = build_graph(k, lu[keep], lv[keep], weights=g.ewgt[keep], coords=new_coords)
-    new_g.vsize = vsize
+    # rebinds the attribute on a just-built local graph — no shared views of
+    # it can exist yet, and the counts build_graph derived are placeholders
+    new_g.vsize = vsize  # repro: noqa(REPRO106)
     return new_g, labels
 
 

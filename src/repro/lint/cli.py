@@ -1,0 +1,68 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 analysis/usage errors — so CI
+gates can distinguish "tree is dirty" from "linter is broken".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import lint_paths
+from .report import format_json, format_rule_list, format_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & parallel-safety analyzer for the PUNCH reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(format_rule_list())
+        return 0
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [s for s in args.select.split(",") if s.strip()]
+    try:
+        result = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result))
+    return result.exit_code

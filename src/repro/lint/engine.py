@@ -1,0 +1,171 @@
+"""Lint engine: parse modules, run the rule catalog, apply suppressions.
+
+One file is parsed once (``ast.parse``); each rule whose scope matches the
+module path runs over the shared tree.  Per-line suppressions use the
+project-specific marker::
+
+    risky_call()  # repro: noqa(REPRO104)
+    other_call()  # repro: noqa(REPRO104, REPRO105)
+    anything()    # repro: noqa          <- suppresses every rule on the line
+
+A suppression silences violations *reported on that physical line* only.
+Unparseable files are reported as :class:`LintError` entries, not crashes —
+the CLI maps them to exit code 2.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .rules import RULES, LintContext, Rule, Violation
+
+__all__ = ["LintError", "LintResult", "lint_source", "lint_file", "lint_paths"]
+
+PathLike = Union[str, Path]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*\(\s*([A-Z0-9_,\s]*?)\s*\))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file that could not be analyzed (syntax error, unreadable)."""
+
+    path: str
+    message: str
+
+
+@dataclass
+class LintResult:
+    """Violations and analysis errors across one lint invocation."""
+
+    violations: List[Violation] = field(default_factory=list)
+    errors: List[LintError] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 violations found, 2 analysis errors."""
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+    def merge(self, other: "LintResult") -> None:
+        """Fold ``other`` into this result in place."""
+        self.violations.extend(other.violations)
+        self.errors.extend(other.errors)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+
+    def sorted_violations(self) -> List[Violation]:
+        """Violations in stable (path, line, col, rule) order."""
+        return sorted(self.violations, key=lambda v: v.key())
+
+
+def _noqa_lines(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line numbers to suppressed rule ids.
+
+    ``None`` means a blanket ``# repro: noqa`` (all rules); a set restricts
+    the suppression to the listed rule ids.
+    """
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "noqa" not in line:
+            continue
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group(1)
+        if codes is None:
+            out[lineno] = None
+        else:
+            ids = {c.strip().upper() for c in codes.split(",") if c.strip()}
+            out[lineno] = ids or None
+    return out
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+    if select is None:
+        return RULES
+    wanted = {s.strip().upper() for s in select if s.strip()}
+    unknown = wanted - {r.id for r in RULES}
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return tuple(r for r in RULES if r.id in wanted)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint one module given as source text."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(
+            LintError(path=path, message=f"syntax error at line {exc.lineno}: {exc.msg}")
+        )
+        return result
+    ctx = LintContext(path=path, tree=tree, source=source)
+    noqa = _noqa_lines(source)
+    seen: Set[Tuple[str, int, int, str]] = set()
+    for rule in _select_rules(select):
+        if not ctx.in_scope(rule.scope):
+            continue
+        for violation in rule.check(ctx):
+            if violation.key() in seen:
+                continue
+            seen.add(violation.key())
+            suppressed_ids = noqa.get(violation.line, "missing")
+            if suppressed_ids is None or (
+                isinstance(suppressed_ids, set) and violation.rule in suppressed_ids
+            ):
+                result.suppressed += 1
+                continue
+            result.violations.append(violation)
+    result.violations.sort(key=lambda v: v.key())
+    return result
+
+
+def lint_file(path: PathLike, select: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint one file on disk."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        result = LintResult(files_checked=1)
+        result.errors.append(LintError(path=str(p), message=f"cannot read file: {exc}"))
+        return result
+    return lint_source(source, path=str(p), select=select)
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(q for q in p.rglob("*.py") if "__pycache__" not in q.parts))
+        else:
+            out.append(p)
+    # canonical order + dedup so reports are stable regardless of CLI order
+    unique = sorted(set(out), key=lambda q: str(q))
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint files and directories (recursively); returns a merged result."""
+    total = LintResult()
+    for p in iter_python_files(paths):
+        total.merge(lint_file(p, select=select))
+    total.violations.sort(key=lambda v: v.key())
+    return total

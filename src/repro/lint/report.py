@@ -1,0 +1,67 @@
+"""Reporters for lint results: editor-friendly text and machine JSON.
+
+Text format is the conventional ``path:line:col: RULE message`` so editors
+and CI annotations can parse it; JSON carries the same data plus summary
+counters for dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .engine import LintResult
+from .rules import RULES
+
+__all__ = ["format_text", "format_json", "format_rule_list"]
+
+
+def format_text(result: LintResult) -> str:
+    """Render ``path:line:col: RULE message`` lines plus a summary."""
+    lines: List[str] = []
+    for v in result.sorted_violations():
+        lines.append(f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}")
+    for err in result.errors:
+        lines.append(f"{err.path}: error: {err.message}")
+    n = len(result.violations)
+    summary = (
+        f"{result.files_checked} file(s) checked, "
+        f"{n} violation(s), {result.suppressed} suppressed"
+    )
+    if result.errors:
+        summary += f", {len(result.errors)} error(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Render the result as a stable JSON document."""
+    doc: Dict[str, Any] = {
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in result.sorted_violations()
+        ],
+        "errors": [{"path": e.path, "message": e.message} for e in result.errors],
+        "summary": {
+            "files_checked": result.files_checked,
+            "violations": len(result.violations),
+            "suppressed": result.suppressed,
+            "errors": len(result.errors),
+            "exit_code": result.exit_code,
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def format_rule_list() -> str:
+    """Render the rule catalog (id, scope, description) for ``--list-rules``."""
+    lines = []
+    for rule in RULES:
+        lines.append(f"{rule.id}  [{rule.scope:<11}]  {rule.name}: {rule.description}")
+    return "\n".join(lines)

@@ -98,7 +98,7 @@ def resolve_graph(handle: SharedGraphHandle) -> Graph:
 
 def worker_cut_cache(max_entries: int) -> Optional[CutCache]:
     """This process's cut cache (one per worker; ``None`` when disabled)."""
-    global _WORKER_CACHE
+    global _WORKER_CACHE  # repro: noqa(REPRO107) — per-process cache registry
     if max_entries < 1:
         return None
     if _WORKER_CACHE is None:
@@ -118,7 +118,7 @@ def _worker_init(handles: tuple, profile_enabled: bool) -> None:
     makes workers always go through shared memory, so behavior is identical
     under fork and spawn start methods.
     """
-    global _IN_WORKER, _WORKER_CACHE
+    global _IN_WORKER, _WORKER_CACHE  # repro: noqa(REPRO107) — initializer resets per-process registries
     _IN_WORKER = True
     _GRAPHS.clear()
     _ATTACHMENTS.clear()

@@ -14,6 +14,7 @@ The format is documented in ``docs/RESILIENCE.md``.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import tempfile
@@ -42,10 +43,9 @@ def save_checkpoint(path: PathLike, kind: str, state: dict) -> None:
             pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
     except BaseException:
-        try:
+        # cleanup of the temp file must not mask the original failure
+        with contextlib.suppress(OSError):
             os.unlink(tmp)
-        except OSError:
-            pass
         raise
 
 

@@ -3,11 +3,42 @@
 from __future__ import annotations
 
 import itertools
+import os
 
 import numpy as np
 import pytest
 
 from repro.graph import build_graph
+
+#: ``REPRO_SANITIZE=1 pytest`` runs the whole suite under the runtime
+#: sanitizer (frozen shared views, RNG parity, partition invariants) and
+#: fails any test whose run recorded a violation — the CI sanitize shard
+SANITIZE = os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0")
+
+
+def pytest_configure(config):
+    if SANITIZE:
+        from repro.lint.sanitizer import get_sanitizer
+
+        san = get_sanitizer()
+        san.reset()
+        san.enabled = True
+
+
+@pytest.fixture(autouse=SANITIZE)
+def _sanitizer_gate():
+    """Per-test sanitizer gate (active only when REPRO_SANITIZE is set)."""
+    from repro.lint.sanitizer import get_sanitizer
+
+    san = get_sanitizer()
+    san.violations.clear()
+    yield
+    if san.violations:
+        detail = "; ".join(
+            f"[{v.phase}] {v.kind}: {v.message}" for v in san.violations
+        )
+        san.violations.clear()
+        pytest.fail(f"runtime sanitizer recorded violations: {detail}")
 
 
 def make_graph(n, edges, weights=None, sizes=None, coords=None):

@@ -1,0 +1,205 @@
+"""Runtime sanitizer tests: deliberate hazards must be caught.
+
+The two injection tests required by the issue — a write to a frozen shared
+array and an RNG draw-count mismatch — plus invariant checks and the
+``run_report()`` wiring.  All tests use a local :class:`Sanitizer` (or
+swap the global one and restore it) so the suite-wide gate fixture never
+sees the injected violations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AssemblyConfig, PunchConfig
+from repro.core.punch import run_punch
+from repro.graph import Graph
+from repro.lint.sanitizer import Sanitizer, get_sanitizer, set_sanitizer
+from repro.synthetic import road_network
+
+
+def path_graph(n):
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n):
+    return Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+@pytest.fixture
+def san():
+    return Sanitizer(enabled=True)
+
+
+@pytest.fixture
+def road():
+    return road_network(n_target=800, n_cities=5, seed=3)
+
+
+class TestFreezeGraph:
+    def test_injected_write_to_frozen_array_is_caught(self, san):
+        """The issue's first injection: a shared-array write must fail loudly."""
+        g = path_graph(16)
+        san.freeze_graph(g, "test")
+        with pytest.raises(ValueError, match="read-only"):
+            g.ewgt[0] = 99.0
+        with pytest.raises(ValueError, match="read-only"):
+            g.vsize[3] += 1
+
+    def test_half_edge_weights_frozen_too(self, san):
+        g = path_graph(8)
+        san.freeze_graph(g, "test")
+        with pytest.raises(ValueError, match="read-only"):
+            g.half_edge_weights()[0] = 1.5
+
+    def test_disabled_sanitizer_freezes_nothing(self):
+        g = path_graph(8)
+        Sanitizer(enabled=False).freeze_graph(g, "test")
+        g.ewgt[0] = 2.0  # still writable
+        assert g.ewgt[0] == 2.0
+
+    def test_reads_and_derived_graphs_unaffected(self, san):
+        g = cycle_graph(10)
+        san.freeze_graph(g, "test")
+        assert g.total_size() == 10
+        fresh = g.ewgt[np.array([0, 1])]  # fancy indexing copies
+        fresh[0] = 7.0
+        assert fresh[0] == 7.0
+
+
+class TestRngParity:
+    def test_matching_declaration_passes(self, san):
+        rng = np.random.default_rng(5)
+        token = san.rng_begin(rng)
+        rng.permutation(100)
+        san.rng_end("phase", rng, token, [("permutation", 100)])
+        assert san.violations == []
+        assert san.rng_draws == {"phase": 1}
+
+    def test_draw_count_mismatch_is_caught(self, san):
+        """The issue's second injection: an undeclared extra draw."""
+        rng = np.random.default_rng(5)
+        token = san.rng_begin(rng)
+        rng.permutation(100)
+        rng.random()  # undeclared draw — serial/pooled parity would break
+        san.rng_end("phase", rng, token, [("permutation", 100)])
+        assert [v.kind for v in san.violations] == ["rng-parity"]
+        assert san.violations[0].phase == "phase"
+
+    def test_missing_draw_is_caught(self, san):
+        rng = np.random.default_rng(5)
+        token = san.rng_begin(rng)
+        san.rng_end("phase", rng, token, [("permutation", 100)])
+        assert [v.kind for v in san.violations] == ["rng-parity"]
+
+    def test_wrong_draw_size_is_caught(self, san):
+        # state replay detects consumption divergence; sizes 100 vs 200 pull
+        # a different number of raw words (adjacent sizes may not)
+        rng = np.random.default_rng(5)
+        token = san.rng_begin(rng)
+        rng.permutation(100)
+        san.rng_end("phase", rng, token, [("permutation", 200)])
+        assert [v.kind for v in san.violations] == ["rng-parity"]
+
+    def test_disabled_is_free(self):
+        off = Sanitizer(enabled=False)
+        rng = np.random.default_rng(5)
+        assert off.rng_begin(rng) is None
+        off.rng_end("phase", rng, None, [("permutation", 10)])
+        assert off.violations == [] and off.checks == {}
+
+
+class TestPartitionInvariants:
+    def test_clean_partition_passes(self, san):
+        g = path_graph(10)
+        labels = (np.arange(10) >= 5).astype(np.int64)
+        san.check_partition("t", g, labels, U=5, expected_cost=1.0)
+        assert san.violations == []
+
+    def test_cost_mismatch_is_caught(self, san):
+        g = path_graph(10)
+        labels = (np.arange(10) >= 5).astype(np.int64)
+        san.check_partition("t", g, labels, expected_cost=2.0)
+        assert [v.kind for v in san.violations] == ["cost-accounting"]
+
+    def test_size_bound_violation_is_caught(self, san):
+        g = path_graph(10)
+        labels = (np.arange(10) >= 8).astype(np.int64)
+        san.check_partition("t", g, labels, U=5)
+        assert [v.kind for v in san.violations] == ["size-bound"]
+
+    def test_disconnected_cell_is_caught(self, san):
+        g = path_graph(10)
+        labels = np.zeros(10, dtype=np.int64)
+        labels[[0, 9]] = 1  # the two endpoints cannot touch
+        san.check_partition("t", g, labels)
+        assert "disconnected-cell" in [v.kind for v in san.violations]
+
+    def test_connectivity_waiver_for_rebalancing(self, san):
+        g = path_graph(10)
+        labels = np.zeros(10, dtype=np.int64)
+        labels[[0, 9]] = 1
+        san.check_partition("t", g, labels, require_connected=False)
+        assert [v.kind for v in san.violations if v.kind == "disconnected-cell"] == []
+
+    def test_fragment_size_conservation(self, san):
+        g = path_graph(6)
+        frag = path_graph(6)
+        san.check_fragments("t", frag, g, U=3)
+        assert san.violations == []
+        bigger = cycle_graph(8)
+        san.check_fragments("t", bigger, g, U=3)
+        assert any(v.kind == "fragment-size" for v in san.violations)
+
+
+class TestEndToEnd:
+    def test_run_report_carries_sanitizer_section(self, road):
+        prev = set_sanitizer(Sanitizer(enabled=True))
+        try:
+            res = run_punch(
+                road, 128, PunchConfig(seed=9, assembly=AssemblyConfig(multistart=2))
+            )
+            report = res.run_report()["sanitizer"]
+        finally:
+            set_sanitizer(prev)
+        assert report["enabled"] is True
+        assert report["violations"] == []
+        # the sweep hook verified at least C=2 permutation draws
+        assert report["rng_draws"].get("filter.sweep", 0) >= 2
+        assert report["checks"].get("partition.punch") == 1
+        assert report["checks"].get("freeze.filter.input", 0) >= 1
+        # informational: must not pollute the one-line summary
+        assert "sanitizer" not in res.summary()
+
+    def test_disabled_sanitizer_stays_out_of_reports(self, road):
+        prev = set_sanitizer(Sanitizer(enabled=False))
+        try:
+            res = run_punch(road, 128, PunchConfig(seed=9))
+            assert "sanitizer" not in res.run_report()
+        finally:
+            set_sanitizer(prev)
+
+    def test_cli_sanitize_flag(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.graph.io import write_metis
+
+        gpath = tmp_path / "g.graph"
+        write_metis(road_network(n_target=400, n_cities=3, seed=1), str(gpath))
+        prev = set_sanitizer(Sanitizer(enabled=False))
+        try:
+            rc = cli_main(["partition", str(gpath), "-U", "64", "--seed", "4", "--sanitize"])
+        finally:
+            set_sanitizer(prev)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sanitizer:" in out and "0 violations" in out
+
+    def test_global_accessor_roundtrip(self):
+        fresh = Sanitizer(enabled=True)
+        prev = set_sanitizer(fresh)
+        try:
+            assert get_sanitizer() is fresh
+        finally:
+            set_sanitizer(prev)
+        assert get_sanitizer() is prev
