@@ -45,7 +45,12 @@ from ..core.config import AssemblyConfig, RuntimeConfig
 from ..graph.graph import Graph
 from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
-from ..runtime.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from ..runtime.checkpoint import (
+    CheckpointError,
+    load_checkpoint_safe,
+    rng_state_checksum,
+    save_checkpoint,
+)
 from .cells import PartitionState
 from .combine import combine_chain
 from .greedy import greedy_labels_for_graph
@@ -69,6 +74,8 @@ class MultistartStats:
     deadline_expired: bool = False  # loop stopped early on the budget
     resumed_at: int = -1  # iteration restored from a checkpoint (-1 = fresh)
     checkpoints_written: int = 0
+    # non-empty when the resume degraded (older generation / fresh start)
+    checkpoint_recovery: dict = field(default_factory=dict)
 
     def incidents(self) -> dict:
         """Non-trivial resilience events, for run reports."""
@@ -79,6 +86,8 @@ class MultistartStats:
             out["resumed_at"] = self.resumed_at
         if self.checkpoints_written:
             out["checkpoints_written"] = self.checkpoints_written
+        if self.checkpoint_recovery:
+            out["checkpoint_recovery"] = dict(self.checkpoint_recovery)
         return out
 
 
@@ -110,9 +119,11 @@ def _checkpoint_state(
     best: Solution,
     pool: Optional[ElitePool],
     start_seeds: Optional[List[int]] = None,
+    entry_rng_crc: Optional[int] = None,
 ) -> dict:
     state = {
         "iteration": it,
+        "entry_rng_crc": entry_rng_crc,
         "rng_state": rng.bit_generator.state,
         "best": {"labels": np.asarray(best.labels), "cost": float(best.cost)},
         "pool": None
@@ -130,13 +141,26 @@ def _checkpoint_state(
     return state
 
 
-def _restore(g: Graph, state: dict, pool: Optional[ElitePool], rng: np.random.Generator):
+def _restore(
+    g: Graph,
+    state: dict,
+    pool: Optional[ElitePool],
+    rng: np.random.Generator,
+    entry_rng_crc: Optional[int] = None,
+):
     """Apply a loaded checkpoint; returns (start_iteration, best_solution)."""
     fp = state.get("graph", {})
     if fp.get("n") != g.n or fp.get("m") != g.m:
         raise CheckpointError(
             f"checkpoint was written for a graph with n={fp.get('n')}, m={fp.get('m')}; "
             f"this graph has n={g.n}, m={g.m}"
+        )
+    stored_crc = state.get("entry_rng_crc")
+    if entry_rng_crc is not None and stored_crc is not None and stored_crc != entry_rng_crc:
+        raise CheckpointError(
+            "checkpoint was written by a run with a different seed configuration "
+            "(RNG entry-state checksum mismatch); resuming would silently diverge "
+            "from both runs — pass the original seed or start fresh"
         )
     rng.bit_generator.state = state["rng_state"]
     best = Solution.from_labels(g, state["best"]["labels"], state["best"]["cost"])
@@ -167,9 +191,15 @@ def multistart(
     if budget is None and runtime.time_budget is not None:
         budget = runtime.make_budget()
     stats = MultistartStats()
+    # fingerprint of the RNG stream position at loop entry — a pure function
+    # of the run's seed configuration, stored in every checkpoint so a resume
+    # under a *different* seed config is rejected instead of diverging
+    entry_crc = rng_state_checksum(rng.bit_generator.state)
 
     if parallel is not None and cfg.multistart > 1 and g.n > 0:
-        out = _multistart_parallel(g, U, cfg, rng, runtime, budget, stats, parallel)
+        out = _multistart_parallel(
+            g, U, cfg, rng, runtime, budget, stats, parallel, entry_crc
+        )
         if out is not None:
             return out
         # a legacy checkpoint (no seed schedule) resumes on the legacy loop
@@ -183,9 +213,12 @@ def multistart(
     start_iter = 0
     ckpt = runtime.checkpoint_path
     if ckpt and runtime.resume:
-        state = load_checkpoint(ckpt, CHECKPOINT_KIND)
+        state, recovery = load_checkpoint_safe(
+            ckpt, CHECKPOINT_KIND, rng=rng, generations=runtime.checkpoint_generations
+        )
+        stats.checkpoint_recovery = recovery
         if state is not None:
-            start_iter, best = _restore(g, state, pool, rng)
+            start_iter, best = _restore(g, state, pool, rng, entry_crc)
             stats.resumed_at = start_iter
 
     for it in range(start_iter, cfg.multistart):
@@ -215,7 +248,14 @@ def multistart(
         stats.iteration_costs.append(min(c.cost for c in candidates))
 
         if ckpt and ((it + 1) % runtime.checkpoint_every == 0 or it + 1 == cfg.multistart):
-            save_checkpoint(ckpt, CHECKPOINT_KIND, _checkpoint_state(g, it + 1, rng, best, pool))
+            save_checkpoint(
+                ckpt,
+                CHECKPOINT_KIND,
+                _checkpoint_state(g, it + 1, rng, best, pool, entry_rng_crc=entry_crc),
+                generations=runtime.checkpoint_generations,
+                fault_plan=runtime.fault_plan,
+                key=it + 1,
+            )
             stats.checkpoints_written += 1
 
     assert best is not None
@@ -231,6 +271,7 @@ def _multistart_parallel(
     budget: Optional[RunBudget],
     stats: MultistartStats,
     parallel,
+    entry_crc: Optional[int] = None,
 ) -> Optional[tuple]:
     """Derived-seed multistart on the worker pool (see module docstring).
 
@@ -252,11 +293,14 @@ def _multistart_parallel(
     start_seeds: Optional[List[int]] = None
     ckpt = runtime.checkpoint_path
     if ckpt and runtime.resume:
-        state = load_checkpoint(ckpt, CHECKPOINT_KIND)
+        state, recovery = load_checkpoint_safe(
+            ckpt, CHECKPOINT_KIND, rng=rng, generations=runtime.checkpoint_generations
+        )
+        stats.checkpoint_recovery = recovery
         if state is not None:
             if not state.get("start_seeds"):
                 return None
-            completed, best = _restore(g, state, elite, rng)
+            completed, best = _restore(g, state, elite, rng, entry_crc)
             start_seeds = [int(s) for s in state["start_seeds"]]
             stats.resumed_at = completed
     if start_seeds is None:
@@ -264,7 +308,6 @@ def _multistart_parallel(
         # this is what makes the outcome executor-independent
         start_seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=M)]
 
-    handle = parallel.share(g)
     # the first min(M, capacity) iterations seed the elite pool, like the
     # sequential loop's warm-up phase; without combination all M are starts
     k0 = M if elite is None else min(M, max(2, cap))
@@ -300,12 +343,20 @@ def _multistart_parallel(
             save_checkpoint(
                 ckpt,
                 CHECKPOINT_KIND,
-                _checkpoint_state(g, it, rng, best, elite, start_seeds),
+                _checkpoint_state(
+                    g, it, rng, best, elite, start_seeds, entry_rng_crc=entry_crc
+                ),
+                generations=runtime.checkpoint_generations,
+                fault_plan=runtime.fault_plan,
+                key=it,
             )
             stats.checkpoints_written += 1
 
     def run_starts(idxs: List[int]) -> None:
-        task = functools.partial(run_start_task, handle=handle, U=U, cfg=cfg)
+        # share per wave (memoized): after a pool collapse the export was
+        # released, and a supervised respawn needs fresh segments in place
+        # before the pool is (re)built inside dispatch()
+        task = functools.partial(run_start_task, handle=parallel.share(g), U=U, cfg=cfg)
         with profile_span("assembly.multistart_wave"):
             results, _report = dispatch(task, [start_seeds[i] for i in idxs])
         for out in results:
@@ -347,7 +398,9 @@ def _multistart_parallel(
                         np.asarray(p2.labels), float(p2.cost),
                     )
                 )
-            task = functools.partial(combine_iteration_task, handle=handle, U=U, cfg=cfg)
+            task = functools.partial(
+                combine_iteration_task, handle=parallel.share(g), U=U, cfg=cfg
+            )
             with profile_span("assembly.multistart_wave"):
                 results, _report = dispatch(task, items)
             for out in results:

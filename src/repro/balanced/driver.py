@@ -42,7 +42,12 @@ from ..graph.graph import Graph
 from ..lint.sanitizer import get_sanitizer
 from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
-from ..runtime.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from ..runtime.checkpoint import (
+    CheckpointError,
+    load_checkpoint_safe,
+    rng_state_checksum,
+    save_checkpoint,
+)
 from .rebalance import rebalance
 
 __all__ = ["run_balanced_punch", "balanced_from_fragments", "balanced_cell_bound"]
@@ -53,6 +58,12 @@ CHECKPOINT_KIND = "balanced"
 def balanced_cell_bound(total_size: int, k: int, epsilon: float) -> int:
     """``U* = floor((1 + eps) * ceil(n / k))``."""
     return int(math.floor((1.0 + epsilon) * math.ceil(total_size / k)))
+
+
+def _supervisor_section(parallel) -> dict:
+    """Supervisor telemetry of the runtime the run actually used, if any."""
+    sup = getattr(parallel, "supervisor", None)
+    return sup.report() if sup is not None else {}
 
 
 def run_balanced_punch(
@@ -81,17 +92,21 @@ def run_balanced_punch(
         raise ValueError("U* smaller than the largest vertex size; infeasible")
 
     parallel = None
+    supervisor = config.runtime.make_supervisor()
+    if supervisor is not None:
+        supervisor.startup()  # reap orphaned segments from dead runs
     if config.parallel is not None:
         from ..parallel.pool import ParallelRuntime
 
         parallel = ParallelRuntime(config.parallel)
+        parallel.supervisor = supervisor
     try:
         U_filter = max(int(g.vsize.max(initial=1)), U_star // config.filter_divisor)
         filt = run_filtering(
             g, U_filter, config.filter, rng,
             runtime=config.runtime, budget=budget, parallel=parallel,
         )
-        return balanced_from_fragments(
+        result = balanced_from_fragments(
             g,
             filt.fragment_graph,
             filt.map,
@@ -104,6 +119,9 @@ def run_balanced_punch(
             filter_report=filt.run_report(),
             parallel=parallel,
         )
+        if supervisor is not None:
+            result.supervisor_report = supervisor.report()
+        return result
     finally:
         if parallel is not None:
             parallel.close()
@@ -122,10 +140,12 @@ def _checkpoint_state(
     attempts: int,
     failures: int,
     unbalanced_costs,
+    entry_rng_crc=None,
 ) -> dict:
     return {
         "start": int(start),
         "rebalance": int(reb),
+        "entry_rng_crc": entry_rng_crc,
         "start_labels": None if start_labels is None else np.asarray(start_labels).copy(),
         "rng_state": rng.bit_generator.state,
         "best_labels": None if best_labels is None else np.asarray(best_labels).copy(),
@@ -182,13 +202,19 @@ def balanced_from_fragments(
     deadline_expired = False
     checkpoints_written = 0
     resumed_at = -1
+    checkpoint_recovery: dict = {}
+    # RNG stream fingerprint at loop entry: pure function of the run's seed
+    # configuration, used to reject resumes under a different seed config
+    entry_crc = rng_state_checksum(rng.bit_generator.state)
 
     start0 = 0
     reb0 = 0
     resumed_labels = None
     ckpt = runtime.checkpoint_path
     if ckpt and runtime.resume:
-        state = load_checkpoint(ckpt, CHECKPOINT_KIND)
+        state, checkpoint_recovery = load_checkpoint_safe(
+            ckpt, CHECKPOINT_KIND, rng=rng, generations=runtime.checkpoint_generations
+        )
         if state is not None:
             fp = state.get("problem", {})
             if (
@@ -200,6 +226,14 @@ def balanced_from_fragments(
                 raise CheckpointError(
                     "checkpoint does not match this problem "
                     f"(expected n={frag.n} m={frag.m} k={k} U*={U_star}, got {fp})"
+                )
+            stored_crc = state.get("entry_rng_crc")
+            if stored_crc is not None and stored_crc != entry_crc:
+                raise CheckpointError(
+                    "checkpoint was written by a run with a different seed "
+                    "configuration (RNG entry-state checksum mismatch); resuming "
+                    "would silently diverge from both runs — pass the original "
+                    "seed or start fresh"
                 )
             start0 = state["start"]
             reb0 = state["rebalance"]
@@ -219,7 +253,11 @@ def balanced_from_fragments(
             _checkpoint_state(
                 frag, k, U_star, start, reb, start_labels, rng,
                 best_labels, best_cost, attempts, failures, unbalanced_costs,
+                entry_rng_crc=entry_crc,
             ),
+            generations=runtime.checkpoint_generations,
+            fault_plan=runtime.fault_plan,
+            key=start * (config.rebalance_attempts + 1) + reb,
         )
 
     for si in range(start0, n_starts):
@@ -322,8 +360,10 @@ def balanced_from_fragments(
         deadline_expired=deadline_expired,
         resumed_at=resumed_at,
         checkpoints_written=checkpoints_written,
+        checkpoint_recovery=checkpoint_recovery,
         filter_report=dict(filter_report or {}),
         parallel_report=parallel.report() if parallel is not None else {},
+        supervisor_report=_supervisor_section(parallel),
     )
 
 
@@ -480,4 +520,5 @@ def _balanced_parallel(
         deadline_expired=deadline_expired,
         filter_report=dict(filter_report or {}),
         parallel_report=parallel.report(),
+        supervisor_report=_supervisor_section(parallel),
     )

@@ -23,12 +23,27 @@ from .core.config import AssemblyConfig, BalancedConfig, PunchConfig, RuntimeCon
 
 def _runtime_from_args(args) -> RuntimeConfig:
     """Build the resilience policy from the shared CLI flags."""
+    fault_plan = None
+    if getattr(args, "chaos", None) is not None:
+        from .runtime.chaos import ChaosPlan
+
+        # a fixed injection mix keyed only by the seed: deterministic,
+        # moderate rates across every chaos site (tests pin exact plans)
+        fault_plan = ChaosPlan(
+            seed=args.chaos,
+            sites=("process", "checkpoint", "memory"),
+            kill_rate=0.2,
+            checkpoint_corrupt_rate=0.2,
+            cache_pressure_rate=0.2,
+        )
     try:
         return RuntimeConfig(
             time_budget=args.time_budget,
             max_retries=args.max_retries,
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            supervise=getattr(args, "supervise", False),
+            fault_plan=fault_plan,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -58,6 +73,21 @@ def _add_runtime_flags(sp) -> None:
         type=int,
         default=2,
         help="extra attempts per failed min-cut subproblem (default 2)",
+    )
+    sp.add_argument(
+        "--supervise",
+        action="store_true",
+        help="attach the execution supervisor: worker watchdog, pool-restart "
+        "budget, and orphaned shared-memory reaping (see docs/RESILIENCE.md)",
+    )
+    sp.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministic chaos harness: inject worker kills, checkpoint "
+        "corruption, and cache pressure on the given seed's schedule "
+        "(the partition stays bit-identical; testing/demo only)",
     )
     sp.add_argument(
         "--profile",

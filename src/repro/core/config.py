@@ -76,8 +76,12 @@ class RuntimeConfig:
     retry_seed: int = 0  # seeds the backoff jitter
     checkpoint_path: Optional[str] = None  # where multistart/balanced loops checkpoint
     checkpoint_every: int = 4  # loop iterations between checkpoint writes
+    checkpoint_generations: int = 2  # rotated .bakN generations kept per checkpoint
     resume: bool = False  # continue from checkpoint_path if it exists
     fault_plan: Optional[FaultPlan] = None  # deterministic fault injection (tests)
+    supervise: bool = False  # attach the execution Supervisor (watchdog + reaper)
+    heartbeat_timeout: float = 10.0  # seconds before a heartbeat declares the pool hung
+    max_pool_restarts: int = 1  # fresh pools the supervisor may respawn per run
 
     def __post_init__(self) -> None:
         if self.time_budget is not None and self.time_budget < 0:
@@ -88,8 +92,29 @@ class RuntimeConfig:
             raise ValueError("max_retries must be >= 0")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.checkpoint_generations < 1:
+            raise ValueError("checkpoint_generations must be >= 1")
         if self.resume and not self.checkpoint_path:
             raise ValueError("resume requires checkpoint_path")
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be > 0")
+        if self.max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
+
+    def make_supervisor(self):
+        """A fresh :class:`~repro.runtime.supervisor.Supervisor`, or ``None``.
+
+        ``None`` unless ``supervise`` is set — the classic degrade-only
+        runtime stays the default and pays zero watchdog overhead.
+        """
+        if not self.supervise:
+            return None
+        from ..runtime.supervisor import Supervisor  # late: keep import cheap
+
+        return Supervisor(
+            heartbeat_timeout=self.heartbeat_timeout,
+            max_pool_restarts=self.max_pool_restarts,
+        )
 
     def make_budget(self) -> RunBudget:
         """A fresh :class:`RunBudget` for one run under this config."""

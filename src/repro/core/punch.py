@@ -28,6 +28,14 @@ from .result import PunchResult
 __all__ = ["run_punch"]
 
 
+def _supervisor_section(parallel, supervisor) -> dict:
+    """Telemetry of whichever supervisor watched this run, if any."""
+    sup = getattr(parallel, "supervisor", None)
+    if sup is None:
+        sup = supervisor
+    return sup.report() if sup is not None else {}
+
+
 def run_punch(
     g: Graph,
     U: int,
@@ -60,15 +68,25 @@ def run_punch(
         budget = config.runtime.make_budget()
 
     owns_parallel = False
+    supervisor = None
     if parallel is None and config.parallel is not None:
         from ..parallel.pool import ParallelRuntime
 
         parallel = ParallelRuntime(config.parallel)
         owns_parallel = True
+    if config.runtime.supervise and (parallel is None or parallel.supervisor is None):
+        # borrowed runtimes may already carry a supervisor; never replace it
+        supervisor = config.runtime.make_supervisor()
+        supervisor.startup()  # reap orphaned segments from dead runs
+        if parallel is not None:
+            parallel.supervisor = supervisor
     try:
         ncomp, comp = connected_components(g)
         if ncomp > 1:
-            return _run_per_component(g, U, config, rng, ncomp, comp, budget, parallel)
+            result = _run_per_component(g, U, config, rng, ncomp, comp, budget, parallel)
+            if supervisor is not None and not result.supervisor_report:
+                result.supervisor_report = supervisor.report()
+            return result
 
         filt = run_filtering(
             g, U, config.filter, rng, runtime=config.runtime, budget=budget, parallel=parallel
@@ -102,6 +120,7 @@ def run_punch(
             time_natural=filt.time_natural,
             time_assembly=time_assembly,
             parallel_report=parallel.report() if parallel is not None else {},
+            supervisor_report=_supervisor_section(parallel, supervisor),
         )
     finally:
         if owns_parallel:
@@ -163,5 +182,6 @@ def _run_per_component(
         filter_result=last_filt,
         assembly_stats=last_stats,
         parallel_report=parallel.report() if parallel is not None else {},
+        supervisor_report=_supervisor_section(parallel, None),
         **total,
     )

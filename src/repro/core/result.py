@@ -36,6 +36,9 @@ class PunchResult:
     # worker-pool telemetry (backend, merged per-worker cache counters, shared
     # bytes, pool breaks); empty when the run was single-process
     parallel_report: dict = field(default_factory=dict)
+    # execution-supervisor telemetry (watchdog detections, restarts, reaped
+    # orphans); empty when the run was unsupervised
+    supervisor_report: dict = field(default_factory=dict)
 
     @property
     def cost(self) -> float:
@@ -75,6 +78,8 @@ class PunchResult:
                 report[f"assembly_{key}" if key in report else key] = value
         if self.parallel_report:
             report["parallel"] = dict(self.parallel_report)
+        if self.supervisor_report:
+            report["supervisor"] = dict(self.supervisor_report)
         return _sanitizer_section(report)
 
     def summary(self) -> str:
@@ -86,9 +91,11 @@ class PunchResult:
             f"{self.time_assembly:.1f}s"
         )
         incidents = self.run_report()
-        # the cut-cache, worker-pool, and sanitizer sections are informational
+        # the cut-cache, worker-pool, supervisor, and sanitizer sections are
+        # informational
         incidents.pop("cut_cache", None)
         incidents.pop("parallel", None)
+        incidents.pop("supervisor", None)
         incidents.pop("sanitizer", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))
@@ -112,9 +119,13 @@ class BalancedResult:
     deadline_expired: bool = False  # driver stopped early on the budget
     resumed_at: int = -1  # start index restored from a checkpoint (-1 = fresh)
     checkpoints_written: int = 0
+    # non-empty when the resume degraded (older generation / fresh start)
+    checkpoint_recovery: dict = field(default_factory=dict)
     filter_report: dict = field(default_factory=dict)
     # worker-pool telemetry; empty when the run was single-process
     parallel_report: dict = field(default_factory=dict)
+    # execution-supervisor telemetry; empty when the run was unsupervised
+    supervisor_report: dict = field(default_factory=dict)
 
     @property
     def cost(self) -> float:
@@ -136,8 +147,12 @@ class BalancedResult:
             report["resumed_at"] = self.resumed_at
         if self.checkpoints_written:
             report["checkpoints_written"] = self.checkpoints_written
+        if self.checkpoint_recovery:
+            report["checkpoint_recovery"] = dict(self.checkpoint_recovery)
         if self.parallel_report:
             report["parallel"] = dict(self.parallel_report)
+        if self.supervisor_report:
+            report["supervisor"] = dict(self.supervisor_report)
         return _sanitizer_section(report)
 
     def summary(self) -> str:
@@ -149,6 +164,7 @@ class BalancedResult:
         incidents = self.run_report()
         incidents.pop("cut_cache", None)
         incidents.pop("parallel", None)
+        incidents.pop("supervisor", None)
         incidents.pop("sanitizer", None)
         if incidents:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(incidents.items()))

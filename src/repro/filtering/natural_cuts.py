@@ -86,6 +86,7 @@ class NaturalCutStats:
     deadline_skipped: int = 0  # subproblems never solved (budget expired)
     solver_fallbacks: int = 0  # solves that succeeded on a fallback solver
     executor_degradations: int = 0  # processes -> threads -> serial demotions
+    cache_pressure_events: int = 0  # chaos-injected cut-cache shrinks
     # cut-cache accounting (src/repro/perf/cut_cache.py)
     cache_hits: int = 0  # subproblems answered from the CutCache
     cache_misses: int = 0  # subproblems that required a fresh solve
@@ -102,6 +103,7 @@ class NaturalCutStats:
             "deadline_skipped": self.deadline_skipped,
             "solver_fallbacks": self.solver_fallbacks,
             "executor_degradations": self.executor_degradations,
+            "cache_pressure_events": self.cache_pressure_events,
         }
         out = {k: v for k, v in counters.items() if v}
         if self.deadline_expired:
@@ -240,6 +242,30 @@ def _solve_one(
     raise last_exc
 
 
+def _apply_cache_pressure(
+    cut_cache: CutCache | None,
+    runtime: RuntimeConfig,
+    sweep: int,
+    stats: NaturalCutStats,
+) -> None:
+    """Chaos hook: simulate memory pressure by shrinking the cut cache.
+
+    Duck-typed against :class:`~repro.runtime.chaos.ChaosPlan` — plain
+    :class:`~repro.runtime.faults.FaultPlan` objects expose no
+    ``cache_pressure`` and are ignored.  Harmless by construction: cache
+    hits are bit-identical to fresh solves, so evictions cost time only.
+    """
+    if cut_cache is None or runtime.fault_plan is None:
+        return
+    pressure = getattr(runtime.fault_plan, "cache_pressure", None)
+    if pressure is None:
+        return
+    cap = pressure(sweep)
+    if cap is not None:
+        cut_cache.shrink(cap)
+        stats.cache_pressure_events += 1
+
+
 def detect_natural_cuts(
     g: Graph,
     U: int,
@@ -297,10 +323,11 @@ def detect_natural_cuts(
             stats.solver_fallbacks += 1
         marked[problem.cut_edges_of_side(side)] = True
 
-    for _ in range(max(1, int(C))):
+    for sweep in range(max(1, int(C))):
         if budget is not None and budget.checkpoint("natural_cuts_sweep"):
             stats.deadline_expired = True
             break
+        _apply_cache_pressure(cut_cache, runtime, sweep, stats)
         if parallel is not None:
             _pooled_sweep(
                 g, U, alpha, f, rng, solver, runtime, budget,

@@ -613,6 +613,44 @@ class SilentExceptRule(Rule):
                 )
 
 
+#: modules allowed to construct SharedMemory directly: the owner/attach
+#: lifecycle (shared_graph) and the orphan reaper (supervisor)
+_SHM_ALLOWED_SUFFIXES = ("parallel/shared_graph.py", "runtime/supervisor.py")
+
+
+class BareSharedMemoryRule(Rule):
+    """REPRO109: ``SharedMemory(...)`` constructed outside the managed paths.
+
+    Every shared-memory segment must be owned by a
+    :class:`~repro.parallel.shared_graph.SharedGraph` (finalizer + ownership
+    registry) or handled by the supervisor's orphan reaper.  A bare
+    ``SharedMemory(...)`` anywhere else escapes both safety nets: nothing
+    unlinks it on a crash and the reaper cannot identify its owner, so it
+    leaks ``/dev/shm`` until reboot.
+    """
+
+    id = "REPRO109"
+    name = "bare-shared-memory"
+    description = "SharedMemory constructed outside shared_graph/supervisor"
+    scope = "all"
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        path = ctx.path.replace("\\", "/")
+        if path.endswith(_SHM_ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func, ctx.aliases)
+            if dotted == "multiprocessing.shared_memory.SharedMemory":
+                yield self.hit(
+                    ctx, node,
+                    "bare SharedMemory(...) escapes the ownership registry and "
+                    "crash finalizers; go through SharedGraph (owner/attach) or "
+                    "the supervisor reaper",
+                )
+
+
 RULES: Tuple[Rule, ...] = (
     GlobalRngRule(),
     WallClockRule(),
@@ -622,6 +660,7 @@ RULES: Tuple[Rule, ...] = (
     SharedViewMutationRule(),
     ForkUnsafePayloadRule(),
     SilentExceptRule(),
+    BareSharedMemoryRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}

@@ -29,6 +29,7 @@ import contextlib
 import heapq
 import os
 import secrets
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -165,10 +166,15 @@ class WorkerPool:
 
     Duck-typed against by :func:`repro.runtime.executor.resilient_map` and
     :func:`repro.filtering.executor.map_subproblems` (``kind``, ``executor``,
-    ``usable()``, ``mark_broken()``) so neither module needs to import this
-    package.  ``on_broken`` is invoked exactly once when the pool collapses
-    (e.g. a worker died) — the owning :class:`ParallelRuntime` uses it to
-    release shared-memory segments that no worker can read anymore.
+    ``usable()``, ``mark_broken()``, ``health_check()``) so neither module
+    needs to import this package.  ``on_broken`` is invoked exactly once when
+    the pool collapses (e.g. a worker died) — the owning
+    :class:`ParallelRuntime` uses it to release shared-memory segments that
+    no worker can read anymore.  ``mark_broken`` may race in from several
+    failure sites at once (harvest loop, fast-path map, pool construction,
+    the supervisor watchdog); a lock elects exactly one winner to run the
+    shutdown + callback, so the release path stays single-shot under
+    concurrency.
     """
 
     def __init__(
@@ -178,6 +184,7 @@ class WorkerPool:
         handles: Sequence[SharedGraphHandle] = (),
         profile: bool = False,
         on_broken=None,
+        supervisor=None,
     ) -> None:
         if kind not in ("processes", "threads"):
             raise ValueError(f"pool kind must be 'processes' or 'threads', got {kind!r}")
@@ -186,7 +193,9 @@ class WorkerPool:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         self.on_broken = on_broken
+        self.supervisor = supervisor
         self._broken = False
+        self._broken_lock = threading.Lock()
         if kind == "processes":
             self.executor = ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -201,15 +210,40 @@ class WorkerPool:
         return not self._broken
 
     def mark_broken(self) -> None:
-        """Record pool collapse; shuts the executor down and fires on_broken."""
-        if self._broken:
-            return
-        self._broken = True
+        """Record pool collapse; shuts the executor down and fires on_broken.
+
+        Idempotent and thread-safe: the flag flip and callback hand-off
+        happen under a lock, so concurrent callers from different failure
+        sites elect exactly one winner; everyone else returns immediately.
+        """
+        with self._broken_lock:
+            if self._broken:
+                return
+            self._broken = True
+            callback, self.on_broken = self.on_broken, None
         with contextlib.suppress(Exception):
             self.executor.shutdown(wait=False, cancel_futures=True)
-        if self.on_broken is not None:
-            callback, self.on_broken = self.on_broken, None
+        if callback is not None:
             callback()
+
+    def health_check(self) -> bool:
+        """Supervisor-backed health verdict; marks the pool broken on failure.
+
+        Without an attached supervisor this is just :meth:`usable`.  With
+        one, dead workers (liveness scan) and hung pools (heartbeat sentinel
+        timeout) are detected *before* work is dispatched, so the caller can
+        degrade — or its owner respawn — instead of wedging on a future that
+        never completes.  Scheduling-only: the verdict never touches task
+        payloads or RNG streams, so determinism is preserved.
+        """
+        if self._broken:
+            return False
+        if self.supervisor is None:
+            return True
+        if not self.supervisor.inspect(self):
+            self.mark_broken()
+            return False
+        return True
 
     def map_ordered(self, fn, items: Sequence, chunksize: int = 1) -> list:
         """``executor.map`` preserving input order (results re-sequenced)."""
@@ -253,11 +287,18 @@ class ParallelRuntime:
         self._handles: Dict[int, SharedGraphHandle] = {}  # id(graph) -> handle
         self._tokens: List[str] = []
         self._closed = False
+        # guards share()/release_shared(): a broken-pool callback can race a
+        # concurrent share from another failure site
+        self._share_lock = threading.Lock()
+        # an attached runtime Supervisor watchdogs the pool and grants
+        # respawns after collapses (None = classic degrade-only behavior)
+        self.supervisor = None
         # telemetry merged from workers / pool lifecycle
         self.cache_hits = 0
         self.cache_misses = 0
         self.batches_dispatched = 0
         self.pool_breaks = 0
+        self.pool_restarts = 0
         self.shared_bytes = 0
 
     # -- properties ------------------------------------------------------
@@ -284,20 +325,21 @@ class ParallelRuntime:
         if self._closed:
             raise RuntimeError("ParallelRuntime is closed")
         key = id(g)
-        handle = self._handles.get(key)
-        if handle is not None:
+        with self._share_lock:
+            handle = self._handles.get(key)
+            if handle is not None:
+                return handle
+            if self.backend == "processes":
+                sg = SharedGraph(g)
+                handle = sg.handle
+                self._shared[key] = sg
+                self.shared_bytes += sg.nbytes()
+            else:
+                handle = SharedGraphHandle(token=f"local-{secrets.token_hex(6)}", n=g.n, m=g.m)
+            register_graph(handle.token, g)
+            self._handles[key] = handle
+            self._tokens.append(handle.token)
             return handle
-        if self.backend == "processes":
-            sg = SharedGraph(g)
-            handle = sg.handle
-            self._shared[key] = sg
-            self.shared_bytes += sg.nbytes()
-        else:
-            handle = SharedGraphHandle(token=f"local-{secrets.token_hex(6)}", n=g.n, m=g.m)
-        register_graph(handle.token, g)
-        self._handles[key] = handle
-        self._tokens.append(handle.token)
-        return handle
 
     def release_shared(self) -> None:
         """Unlink every shared-memory export (driver registry stays intact).
@@ -305,24 +347,40 @@ class ParallelRuntime:
         Called when the process pool breaks: the segments have no readers
         left, and thread/serial fallbacks resolve handles through the
         registry, so holding the memory would be a pure leak.  Future
-        :meth:`share` calls re-export.
+        :meth:`share` calls re-export.  Safe from concurrent failure sites:
+        the export map is detached under the lock, so each
+        :class:`SharedGraph` is closed exactly once no matter how many
+        callers race in.
         """
-        for sg in self._shared.values():
+        with self._share_lock:
+            shared, self._shared = self._shared, {}
+            # drop handle memoization for shm-backed graphs so share()
+            # re-exports
+            for key in list(self._handles):
+                if key in shared:
+                    del self._handles[key]
+        for sg in shared.values():
             if not sg.closed:
                 sg.close()
-        # drop handle memoization for shm-backed graphs so share() re-exports
-        for key in list(self._handles):
-            if key in self._shared:
-                del self._handles[key]
-        self._shared.clear()
 
     # -- pool ------------------------------------------------------------
     def pool(self) -> Optional[WorkerPool]:
-        """The run's pool, created lazily; ``None`` for the serial backend."""
+        """The run's pool, created lazily; ``None`` for the serial backend.
+
+        After a collapse, an attached supervisor with restart budget left
+        lets the *next* dispatch respawn a fresh pool (a prior
+        :meth:`share` re-exports the segments first, since the broken
+        pool's exports were released); without one, the broken pool stays
+        retired and the degraded tiers finish the run.  Either way, work is
+        replayed from derived seeds, so the partition cannot change.
+        """
         if self.backend == "serial" or self._closed:
             return None
         if self._pool is not None and not self._pool.usable():
-            return None  # broken earlier in this run; tiers degraded already
+            if self.supervisor is None or not self.supervisor.grant_restart():
+                return None  # broken; tiers degraded already, no budget left
+            self._pool = None
+            self.pool_restarts += 1
         if self._pool is None:
             self._pool = WorkerPool(
                 workers=self.config.workers,
@@ -330,6 +388,7 @@ class ParallelRuntime:
                 handles=[sg.handle for sg in self._shared.values()],
                 profile=self.profile,
                 on_broken=self._on_pool_broken,
+                supervisor=self.supervisor,
             )
         return self._pool
 
@@ -367,6 +426,8 @@ class ParallelRuntime:
             out["shared_bytes"] = self.shared_bytes
         if self.pool_breaks:
             out["pool_breaks"] = self.pool_breaks
+        if self.pool_restarts:
+            out["pool_restarts"] = self.pool_restarts
         return out
 
     # -- lifecycle -------------------------------------------------------

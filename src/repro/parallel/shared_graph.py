@@ -35,6 +35,7 @@ import weakref
 import numpy as np
 
 from ..graph.graph import Graph
+from ..runtime.supervisor import register_segments, unregister_segments
 
 __all__ = ["SharedGraph", "SharedGraphHandle", "AttachedGraph", "attach_shared_graph"]
 
@@ -93,14 +94,21 @@ def _untracked_attach():
         resource_tracker.register = original
 
 
-def _release_segments(segments: List[shared_memory.SharedMemory]) -> None:
-    """Owner-side cleanup: close and unlink every block (idempotent)."""
+def _release_segments(segments: List[shared_memory.SharedMemory], token: str = "") -> None:
+    """Owner-side cleanup: close and unlink every block (idempotent).
+
+    Also drops the export's ownership-registry record (see
+    :mod:`repro.runtime.supervisor`) so the orphan reaper never sees live
+    segments as reclaimable.
+    """
     for shm in segments:
         with contextlib.suppress(Exception):
             shm.close()
         with contextlib.suppress(Exception):
             shm.unlink()
     segments.clear()
+    if token:
+        unregister_segments(token)
 
 
 class SharedGraph:
@@ -130,12 +138,15 @@ class SharedGraph:
                 self._segments.append(shm)
                 blocks.append((field, shm.name, arr.dtype.str, tuple(arr.shape)))
         except Exception:
-            _release_segments(self._segments)
+            _release_segments(self._segments, token)
             raise
         self.handle = SharedGraphHandle(token=token, n=g.n, m=g.m, blocks=tuple(blocks))
         self._closed = False
+        # supervisor-reapable ownership record: a crashed owner's segments
+        # can be identified (PID gone) and unlinked at the next startup
+        register_segments(token, self.handle.block_names())
         # crash safety: unlink on GC / interpreter exit even without close()
-        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
+        self._finalizer = weakref.finalize(self, _release_segments, self._segments, token)
 
     @property
     def closed(self) -> bool:

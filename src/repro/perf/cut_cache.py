@@ -31,7 +31,7 @@ __all__ = ["CutCache"]
 class CutCache:
     """Bounded fingerprint -> ``(cut_value, source_side)`` store."""
 
-    __slots__ = ("max_entries", "hits", "misses", "_store")
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_store")
 
     def __init__(self, max_entries: int = 65536) -> None:
         if max_entries <= 0:
@@ -39,6 +39,7 @@ class CutCache:
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._store: OrderedDict[bytes, Tuple[float, np.ndarray]] = OrderedDict()
 
     def __len__(self) -> int:
@@ -59,6 +60,7 @@ class CutCache:
             return
         if len(self._store) >= self.max_entries:
             self._store.popitem(last=False)
+            self.evictions += 1
         # copy + freeze: the mask is shared between cache and callers
         side = source_side.copy()
         side.setflags(write=False)
@@ -69,6 +71,26 @@ class CutCache:
         report per-batch deltas from a long-lived per-worker cache."""
         return self.hits, self.misses
 
+    def shrink(self, max_entries: int) -> int:
+        """Cap the cache at ``max_entries``, evicting oldest entries first.
+
+        The memory-pressure hook (supervised runs and
+        :class:`~repro.runtime.chaos.ChaosPlan` injection): lowering the cap
+        evicts immediately and future :meth:`put` calls respect the new
+        bound.  Safe by construction — hits are bit-identical to fresh
+        solves, so shrinking can change only speed, never partitions.
+        Returns the number of entries evicted.
+        """
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        evicted = 0
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
     def stats(self) -> dict:
         """Counters for run reports: hits, misses, entries, hit rate."""
         total = self.hits + self.misses
@@ -76,6 +98,7 @@ class CutCache:
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._store),
+            "evictions": self.evictions,
             "hit_rate": (self.hits / total) if total else 0.0,
         }
 
@@ -84,3 +107,4 @@ class CutCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

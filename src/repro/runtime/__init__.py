@@ -14,19 +14,33 @@ pieces that turn that structure into a resilient runtime:
   wrapper over :func:`~repro.filtering.executor.map_subproblems` with
   per-item timeouts, bounded retries with exponential backoff and seeded
   jitter, and automatic degradation ``processes -> threads -> serial``.
-- :mod:`~repro.runtime.checkpoint` — atomic checkpoint files for the
-  multistart and balanced loops, so killed runs can be resumed.
+- :mod:`~repro.runtime.checkpoint` — crash-consistent checkpoint files for
+  the multistart and balanced loops (checksummed manifest, rotated
+  generations, safe degradation), so killed runs can be resumed.
 - :mod:`~repro.runtime.faults` — a seeded, deterministic :class:`FaultPlan`
   that injects exceptions, delays, and timeouts so all of the above is
   testable in CI without flaky timing tricks.
+- :mod:`~repro.runtime.supervisor` — the execution :class:`Supervisor`:
+  worker watchdog (liveness + heartbeat sentinels), pool-restart budget,
+  and the orphaned shared-memory reaper.
+- :mod:`~repro.runtime.chaos` — :class:`ChaosPlan`, the deterministic chaos
+  harness (worker kills, checkpoint corruption, memory pressure).
 
 See ``docs/RESILIENCE.md`` for the full policy description.
 """
 
 from .budget import RunBudget
-from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .chaos import ChaosPlan
+from .checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    load_checkpoint_safe,
+    rng_state_checksum,
+    save_checkpoint,
+)
 from .executor import ExecutionReport, resilient_map
 from .faults import FaultPlan, InjectedFault
+from .supervisor import Supervisor, reap_orphan_segments
 
 __all__ = [
     "RunBudget",
@@ -34,7 +48,12 @@ __all__ = [
     "resilient_map",
     "FaultPlan",
     "InjectedFault",
+    "ChaosPlan",
     "CheckpointError",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_safe",
+    "rng_state_checksum",
+    "Supervisor",
+    "reap_orphan_segments",
 ]

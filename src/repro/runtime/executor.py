@@ -126,6 +126,63 @@ def _fault_call(fn, item, plan: Optional[FaultPlan], key: int, attempt: int, in_
     return fn(item)
 
 
+def _pool_unhealthy(pool, tier: str) -> bool:
+    """Pre-dispatch watchdog: True when the borrowed pool must be abandoned.
+
+    Duck-typed: pools without a ``health_check`` (or without a supervisor
+    behind it) are simply trusted, preserving classic behavior.  A failing
+    check has already marked the pool broken, so the caller degrades to the
+    next tier and the items are replayed from scratch — never resumed from
+    partial state.
+    """
+    if pool is None or getattr(pool, "kind", None) != tier:
+        return False
+    check = getattr(pool, "health_check", None)
+    if check is None:
+        return False
+    return not check()
+
+
+def _await_future(fut, wait, pool, use_pool):
+    """Harvest one future, heartbeat-slicing the wait on supervised pools.
+
+    Without a caller timeout a hung worker would wedge the harvest loop
+    forever.  When the borrowed pool carries a supervisor, the wait is cut
+    into heartbeat-sized slices; between slices the watchdog inspects the
+    pool (liveness scan + sentinel probe) and converts a dead or hung pool
+    into an ordinary degrade error.  A single stuck future that survives
+    ``max_stall_beats`` healthy probes is treated as a hung pool too, so
+    one wedged worker cannot stall the run while its siblings idle.
+    """
+    sup = getattr(pool, "supervisor", None) if use_pool else None
+    if sup is None:
+        return fut.result(timeout=wait)
+    beats = 0
+    remaining = wait
+    while True:
+        slice_ = sup.heartbeat_timeout
+        if remaining is not None:
+            slice_ = min(slice_, remaining)
+        try:
+            return fut.result(timeout=slice_)
+        except FutureTimeoutError:
+            if remaining is not None:
+                remaining -= slice_
+                if remaining <= 0:
+                    raise  # the caller's own timeout: counts as item timeout
+            if not pool.health_check():
+                raise BrokenExecutor(
+                    "supervisor: pool failed its health check while waiting"
+                ) from None
+            beats += 1
+            if beats >= sup.max_stall_beats:
+                pool.mark_broken()
+                raise BrokenExecutor(
+                    f"supervisor: future still pending after {beats} healthy "
+                    "heartbeats; declaring the pool hung"
+                ) from None
+
+
 def _tier_chain(executor: str) -> List[str]:
     if executor not in DEGRADATION_ORDER:
         raise ValueError(
@@ -209,6 +266,9 @@ def resilient_map(
             # through core.config)
             from ..filtering.executor import map_subproblems
 
+            if _pool_unhealthy(pool, tier):
+                report.executor_degradations += 1
+                continue  # watchdog verdict: replay everything on the next tier
             try:
                 mapped = map_subproblems(
                     fn, [items[i] for i, _ in pending], tier, workers, pool=pool
@@ -284,6 +344,9 @@ def _run_pooled(
     of constructing a fresh executor (and is *not* shut down here); when
     that borrowed pool breaks, ``mark_broken()`` notifies its owner.
     """
+    if _pool_unhealthy(pool, tier):
+        report.executor_degradations += 1
+        return list(pending), True
     use_pool = pool is not None and pool.kind == tier and pool.usable()
     in_process = tier == "processes"
     queue = list(pending)
@@ -314,7 +377,7 @@ def _run_pooled(
                             rem = budget.remaining()
                             if rem != float("inf"):
                                 wait = rem if wait is None else min(wait, rem)
-                        results[i] = fut.result(timeout=wait)
+                        results[i] = _await_future(fut, wait, pool, use_pool)
                         report.succeeded += 1
                     except FutureTimeoutError:
                         fut.cancel()

@@ -226,6 +226,49 @@ class TestSilentExcept:
         assert res.violations == []
 
 
+class TestBareSharedMemory:
+    SRC = (
+        "from multiprocessing import shared_memory\n"
+        "shm = shared_memory.SharedMemory(create=True, size=64)\n"
+    )
+
+    def test_flagged_everywhere_by_default(self):
+        res = check(self.SRC, path=OTHER)
+        assert rule_ids(res) == ["REPRO109"]
+
+    def test_direct_import_alias_flagged(self):
+        res = check(
+            "from multiprocessing.shared_memory import SharedMemory as SM\n"
+            "shm = SM(name='x')\n",
+            path=PAR,
+        )
+        assert rule_ids(res) == ["REPRO109"]
+
+    def test_allowed_in_shared_graph(self):
+        res = check(self.SRC, path="src/repro/parallel/shared_graph.py")
+        assert res.violations == []
+
+    def test_allowed_in_supervisor(self):
+        res = check(self.SRC, path="src/repro/runtime/supervisor.py")
+        assert res.violations == []
+
+    def test_other_shared_memory_calls_not_flagged(self):
+        res = check(
+            "from multiprocessing import shared_memory\n"
+            "lst = shared_memory.ShareableList([1, 2])\n",
+            path=OTHER,
+        )
+        assert res.violations == []
+
+    def test_noqa_suppression(self):
+        res = check(
+            "from multiprocessing import shared_memory\n"
+            "shm = shared_memory.SharedMemory(name='x')  # repro: noqa(REPRO109)\n",
+            path=OTHER,
+        )
+        assert res.violations == []
+
+
 class TestSuppressions:
     def test_targeted_noqa_suppresses(self):
         res = check("s = set(xs)\nfor x in s:  # repro: noqa(REPRO104)\n    handle(x)\n")

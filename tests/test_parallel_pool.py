@@ -11,6 +11,7 @@ from repro.core.config import ParallelConfig, PunchConfig, RuntimeConfig
 from repro.parallel import ParallelRuntime, WorkerPool, lpt_batches, resolve_graph
 from repro.runtime.executor import resilient_map
 from repro.runtime.faults import FaultPlan
+from repro.runtime.supervisor import registered_tokens
 
 from .conftest import make_graph, random_connected_graph
 
@@ -78,6 +79,30 @@ class TestWorkerPool:
         pool.mark_broken()
         assert not pool.usable()
         assert calls == [1]
+
+    def test_mark_broken_concurrent_callers_elect_one_winner(self):
+        """Regression: mark_broken can race in from several failure sites
+        (harvest loop, fast path, watchdog); exactly one caller may run the
+        shutdown + on_broken callback."""
+        import threading
+
+        calls = []
+        barrier = threading.Barrier(17)
+        pool = WorkerPool(workers=1, kind="threads", on_broken=lambda: calls.append(1))
+
+        def storm():
+            barrier.wait()
+            pool.mark_broken()
+
+        threads = [threading.Thread(target=storm) for _ in range(16)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for t in threads:
+            t.join()
+        assert not pool.usable()
+        assert calls == [1]
+        assert pool.on_broken is None
 
 
 class TestParallelRuntime:
@@ -186,19 +211,27 @@ class TestDegradation:
             assert rt.active_segment_names() == []
             for name in names:
                 assert not _segment_exists(name)
+            # ...including its supervisor-reapable ownership record
+            assert handle.token not in registered_tokens()
             # ...and the runtime refuses to hand the broken pool out again
             assert rt.pool() is None
-            # a later share() re-exports fresh segments
+            # a later share() re-exports fresh segments (with a new record)
             h2 = rt.share(g)
             assert h2.is_shared and h2.token != handle.token
+            assert h2.token in registered_tokens()
             fresh = rt.active_segment_names()
             assert fresh and all(_segment_exists(n) for n in fresh)
         assert not any(_segment_exists(n) for n in fresh)
+        assert h2.token not in registered_tokens()
 
-    def test_run_punch_survives_crashing_workers_without_leaks(self):
-        """End-to-end: crash faults during a parallel run leave no segments."""
+    def test_run_punch_survives_crashing_workers_without_leaks(
+        self, monkeypatch, tmp_path
+    ):
+        """End-to-end: crash faults during a parallel run leave no segments
+        and no supervisor ownership records."""
         from repro.core.punch import run_punch
 
+        monkeypatch.setenv("REPRO_SHM_REGISTRY", str(tmp_path / "registry"))
         g = random_connected_graph(120, 60, seed=4)
         cfg = PunchConfig(
             seed=9,
@@ -217,3 +250,4 @@ class TestDegradation:
         assert rt.pool_breaks >= 1
         assert not any(_segment_exists(n) for n in names_during)
         assert rt.active_segment_names() == []
+        assert registered_tokens() == []

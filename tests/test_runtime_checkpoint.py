@@ -1,4 +1,4 @@
-"""Tests for atomic checkpoint save/load."""
+"""Tests for atomic checkpoint save/load and the v2 crash-consistency layer."""
 
 from __future__ import annotations
 
@@ -7,7 +7,13 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.runtime import CheckpointError, load_checkpoint, save_checkpoint
+from repro.runtime import (
+    CheckpointError,
+    load_checkpoint,
+    load_checkpoint_safe,
+    rng_state_checksum,
+    save_checkpoint,
+)
 from repro.runtime.checkpoint import CHECKPOINT_VERSION
 
 
@@ -71,3 +77,118 @@ class TestCheckpoint:
         path = tmp_path / "deep" / "nested" / "run.ckpt"
         save_checkpoint(path, "multistart", {"x": 1})
         assert load_checkpoint(path, "multistart") == {"x": 1}
+
+
+class TestManifestV2:
+    def test_bitflip_detected_by_checksum(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, "multistart", {"payload": np.arange(200)})
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, "multistart")
+
+    def test_version_1_files_still_load(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        payload = {"version": 1, "kind": "multistart", "state": {"iteration": 7}}
+        path.write_bytes(pickle.dumps(payload))
+        assert load_checkpoint(path, "multistart") == {"iteration": 7}
+
+    def test_rng_manifest_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        rng = np.random.default_rng(11)
+        save_checkpoint(
+            path, "multistart", {"iteration": 1, "rng_state": rng.bit_generator.state}
+        )
+        loaded = load_checkpoint(path, "multistart", rng=np.random.default_rng(99))
+        # any PCG64 rng may resume; the manifest only pins the generator kind
+        assert loaded["rng_state"]["bit_generator"] == "PCG64"
+
+    def test_rng_bit_generator_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        rng = np.random.default_rng(11)
+        save_checkpoint(
+            path, "multistart", {"iteration": 1, "rng_state": rng.bit_generator.state}
+        )
+        other = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(CheckpointError, match="bit\\s?generator|MT19937"):
+            load_checkpoint(path, "multistart", rng=other)
+
+    def test_rng_state_checksum_is_stable(self):
+        a = np.random.default_rng(5).bit_generator.state
+        b = np.random.default_rng(5).bit_generator.state
+        c = np.random.default_rng(6).bit_generator.state
+        assert rng_state_checksum(a) == rng_state_checksum(b)
+        assert rng_state_checksum(a) != rng_state_checksum(c)
+
+
+class TestGenerations:
+    def test_rotation_keeps_older_generations(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        for step in range(1, 4):
+            save_checkpoint(path, "multistart", {"step": step}, generations=3)
+        assert load_checkpoint(path, "multistart")["step"] == 3
+        assert load_checkpoint(tmp_path / "run.ckpt.bak1", "multistart")["step"] == 2
+        assert load_checkpoint(tmp_path / "run.ckpt.bak2", "multistart")["step"] == 1
+
+    def test_generations_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="generations"):
+            save_checkpoint(tmp_path / "x", "multistart", {}, generations=0)
+
+    def test_safe_load_clean_newest(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, "multistart", {"step": 1}, generations=2)
+        state, recovery = load_checkpoint_safe(path, "multistart", generations=2)
+        assert state == {"step": 1}
+        assert recovery == {}
+
+    def test_safe_load_missing_file(self, tmp_path):
+        state, recovery = load_checkpoint_safe(
+            tmp_path / "nope.ckpt", "multistart", generations=2
+        )
+        assert state is None
+        assert recovery == {}
+
+    def test_safe_load_falls_back_to_backup(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, "multistart", {"step": 1}, generations=2)
+        save_checkpoint(path, "multistart", {"step": 2}, generations=2)
+        path.write_bytes(b"torn")
+        with pytest.warns(RuntimeWarning, match="degraded to generation"):
+            state, recovery = load_checkpoint_safe(path, "multistart", generations=2)
+        assert state == {"step": 1}
+        assert recovery["recovered_from"] == "run.ckpt.bak1"
+        assert len(recovery["discarded"]) == 1
+
+    def test_safe_load_fresh_start_when_all_corrupt(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, "multistart", {"step": 1}, generations=2)
+        save_checkpoint(path, "multistart", {"step": 2}, generations=2)
+        path.write_bytes(b"torn")
+        (tmp_path / "run.ckpt.bak1").write_bytes(b"also torn")
+        with pytest.warns(RuntimeWarning, match="starting fresh"):
+            state, recovery = load_checkpoint_safe(path, "multistart", generations=2)
+        assert state is None
+        assert recovery["fresh_start"] is True
+        assert len(recovery["discarded"]) == 2
+
+
+class TestChaosHook:
+    def test_fault_plan_corrupts_after_write(self, tmp_path):
+        from repro.runtime.chaos import ChaosPlan
+
+        path = tmp_path / "run.ckpt"
+        plan = ChaosPlan(seed=0, checkpoint_corrupt_rate=1.0)
+        save_checkpoint(path, "multistart", {"step": 1}, fault_plan=plan, key=1)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, "multistart")
+
+    def test_plans_without_hook_are_ignored(self, tmp_path):
+        from repro.runtime.faults import FaultPlan
+
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(
+            path, "multistart", {"step": 1}, fault_plan=FaultPlan(seed=0), key=1
+        )
+        assert load_checkpoint(path, "multistart") == {"step": 1}
