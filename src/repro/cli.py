@@ -6,6 +6,7 @@ Commands
 - ``generate -o GRAPH``             : write a synthetic road network
 - ``partition GRAPH -U N``          : unbalanced PUNCH (paper's main problem)
 - ``balanced GRAPH -k K [--strong]``: balanced PUNCH (Section 4)
+- ``replay GRAPH -U N``             : serving-layer query-log replay (CRP)
 
 Graph files are DIMACS ``.gr``(.gz) or METIS ``.graph``(.gz), inferred from
 the extension.  Partitions are written as one cell id per line.
@@ -283,6 +284,56 @@ def cmd_balanced(args) -> int:
     return rc
 
 
+def cmd_replay(args) -> int:
+    """``repro replay``: partition, build the overlay, replay a query log."""
+    import json
+
+    from .core.punch import run_punch
+    from .crp import build_overlay
+    from .serve import ServingConfig, ServingEngine, replay, synthetic_query_log
+
+    if args.name:
+        from .synthetic import instance
+
+        g = instance(args.name)
+    elif args.graph:
+        g = _load_graph(args.graph)
+    else:
+        raise SystemExit("error: give a GRAPH file or --name INSTANCE")
+    cfg = PunchConfig(seed=args.seed)
+    res = run_punch(g, args.U, cfg)
+    engine = ServingEngine(
+        build_overlay(res.partition),
+        ServingConfig(metric_cache_entries=args.cache_entries),
+    )
+    log = synthetic_query_log(
+        g,
+        n_queries=args.queries,
+        batch_size=args.batch,
+        n_profiles=args.profiles,
+        seed=args.seed if args.seed is not None else 0,
+    )
+    pool = None
+    pcfg = _parallel_from_args(args) if hasattr(args, "executor") else None
+    if pcfg is not None and pcfg.backend == "threads":
+        from .parallel.pool import WorkerPool
+
+        pool = WorkerPool(workers=pcfg.workers, kind="threads")
+    rr = replay(engine, log, batch_size=args.batch, pool=pool)
+    if pool is not None:
+        pool.shutdown()
+    print(f"queries        : {rr.queries} in {rr.batches} batches")
+    print(f"throughput     : {rr.qps:.0f} queries/s")
+    print(f"latency p50    : {rr.latency_p50_ms:.3f} ms")
+    print(f"latency p99    : {rr.latency_p99_ms:.3f} ms")
+    print(f"customizations : {rr.customizations} ({rr.customize_s:.3f}s)")
+    print(f"LRU hit rate   : {rr.lru_hit_rate:.2f}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(rr.run_report(), indent=2) + "\n")
+        print(f"wrote report to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     p = argparse.ArgumentParser(
@@ -323,6 +374,27 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=None)
     _add_runtime_flags(sp)
     sp.set_defaults(fn=cmd_balanced)
+
+    sp = sub.add_parser(
+        "replay", help="serve a synthetic CRP query log and report QPS/latency"
+    )
+    sp.add_argument("graph", nargs="?", help="graph file (.gr/.graph, or use --name)")
+    sp.add_argument("--name", help="named synthetic instance (e.g. belgium_like)")
+    sp.add_argument("-U", type=int, required=True, help="maximum cell size")
+    sp.add_argument("--queries", type=int, default=1000, help="log length")
+    sp.add_argument("--batch", type=int, default=50, help="queries per batch")
+    sp.add_argument("--profiles", type=int, default=4, help="weight profiles in the log")
+    sp.add_argument("--cache-entries", type=int, default=8, help="metric LRU capacity")
+    sp.add_argument("--seed", type=int, default=None)
+    sp.add_argument("--json", metavar="PATH", help="write the replay run report here")
+    sp.add_argument(
+        "--executor",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="threads fans batches across a worker pool; serial/processes serve inline",
+    )
+    sp.add_argument("--workers", type=int, default=None, metavar="N")
+    sp.set_defaults(fn=cmd_replay)
     return p
 
 

@@ -56,6 +56,54 @@ class Partition:
         """Total weight of cut edges — the objective of the paper."""
         return float(self.graph.ewgt[self.cut_edges].sum())
 
+    @cached_property
+    def boundary_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Boundary vertices per cell as ``(offsets, verts)`` in CSR layout.
+
+        ``verts[offsets[c]:offsets[c + 1]]`` are the cut-edge endpoints that
+        lie in cell ``c``, ascending.  Derived purely from :attr:`cut_edges`,
+        so overlay builds and metric customizations share one computation.
+        Like :attr:`cell_adjacency`-style caches elsewhere this is pure
+        acceleration state; ``Partition`` is frozen (labels never mutate
+        after ``__post_init__``), so no invalidation hook is needed — a new
+        labeling is a new ``Partition`` with a fresh cache.
+        """
+        g = self.graph
+        cut = self.cut_edges
+        ends = np.concatenate([g.edge_u[cut], g.edge_v[cut]]).astype(np.int64)
+        # unique (cell, vertex) pairs, sorted by cell then vertex id
+        key = self.labels[ends] * np.int64(max(g.n, 1)) + ends
+        uniq = np.unique(key)
+        verts = uniq % max(g.n, 1)
+        counts = np.bincount(uniq // max(g.n, 1), minlength=self.num_cells)
+        offsets = np.zeros(self.num_cells + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return offsets, verts.astype(np.int64)
+
+    @cached_property
+    def cell_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Members per cell as ``(offsets, verts)`` in CSR layout.
+
+        ``verts[offsets[c]:offsets[c + 1]]`` are the vertices of cell ``c``
+        in ascending order.  Memoized for the same reason as
+        :attr:`boundary_index`.
+        """
+        order = np.argsort(self.labels, kind="stable")
+        counts = np.bincount(self.labels, minlength=self.num_cells)
+        offsets = np.zeros(self.num_cells + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return offsets, order.astype(np.int64)
+
+    def boundary_of(self, cell: int) -> np.ndarray:
+        """Boundary vertices of one cell (ascending; view into the memo)."""
+        offsets, verts = self.boundary_index
+        return verts[offsets[cell] : offsets[cell + 1]]
+
+    def members_of(self, cell: int) -> np.ndarray:
+        """Vertices of one cell (ascending; view into the memo)."""
+        offsets, verts = self.cell_index
+        return verts[offsets[cell] : offsets[cell + 1]]
+
     # ------------------------------------------------------------------
     def max_cell_size(self) -> int:
         """Size of the largest cell."""

@@ -11,15 +11,24 @@ from ..filtering.pipeline import FilterResult
 from ..lint.sanitizer import get_sanitizer
 from .partition import Partition
 
-__all__ = ["PunchResult", "BalancedResult"]
+__all__ = ["PunchResult", "BalancedResult", "sanitizer_section"]
 
 
-def _sanitizer_section(report: dict) -> dict:
-    """Attach ``report["sanitizer"]`` when the runtime sanitizer is active."""
+def sanitizer_section(report: dict) -> dict:
+    """Attach ``report["sanitizer"]`` when the runtime sanitizer is active.
+
+    Public because every ``run_report()`` producer in the repo (driver
+    results here, :class:`repro.serve.engine.ServingEngine`,
+    :class:`repro.serve.replay.ReplayResult`) shares the same convention.
+    """
     san = get_sanitizer()
     if san.enabled:
         report["sanitizer"] = san.report()
     return report
+
+
+# historical private alias (pre-serving callers)
+_sanitizer_section = sanitizer_section
 
 
 @dataclass

@@ -28,9 +28,15 @@ from typing import List, Tuple
 import numpy as np
 
 from ..core.nested import NestedPartition
-from .overlay import Overlay, build_overlay
+from .overlay import Overlay, build_overlay, build_overlay_reference, customize_overlay
 
-__all__ = ["MultiLevelOverlay", "build_multilevel_overlay", "ml_query"]
+__all__ = [
+    "MultiLevelOverlay",
+    "build_multilevel_overlay",
+    "build_multilevel_overlay_reference",
+    "customize_multilevel_overlay",
+    "ml_query",
+]
 
 
 @dataclass
@@ -51,15 +57,52 @@ class MultiLevelOverlay:
 
 
 def build_multilevel_overlay(nested: NestedPartition) -> MultiLevelOverlay:
-    """Build one overlay per nesting level (finest first)."""
+    """Build one overlay per nesting level (finest first; vectorized).
+
+    Each level goes through the vectorized :func:`~.overlay.build_overlay`,
+    so the per-level :class:`~.overlay.CellTopology` skeletons are retained
+    for :func:`customize_multilevel_overlay`.
+    """
     return MultiLevelOverlay(
         nested=nested, overlays=[build_overlay(p) for p in nested.levels]
     )
 
 
+def build_multilevel_overlay_reference(nested: NestedPartition) -> MultiLevelOverlay:
+    """Scalar reference twin of :func:`build_multilevel_overlay`."""
+    return MultiLevelOverlay(
+        nested=nested, overlays=[build_overlay_reference(p) for p in nested.levels]
+    )
+
+
+def customize_multilevel_overlay(
+    mlo: MultiLevelOverlay, new_weights: np.ndarray
+) -> MultiLevelOverlay:
+    """Swap the metric of every level without touching any partition.
+
+    Per-level vectorized customization: each level reuses its retained
+    topology, so a metric swap costs only the clique recomputations — the
+    multi-level analog of :func:`~.overlay.customize_overlay`.  All levels
+    share one reweighted graph object (and hence one half-edge gather).
+    """
+    from .overlay import _overlay_from_topology, _reweighted_graph, build_cell_topology
+    from ..core.partition import Partition
+
+    g2 = _reweighted_graph(mlo.graph, new_weights)
+    overlays = []
+    for o in mlo.overlays:
+        topo = o.topology
+        if topo is None:
+            topo = build_cell_topology(Partition(o.graph, o.labels))
+        overlays.append(_overlay_from_topology(topo, g2))
+    return MultiLevelOverlay(nested=mlo.nested, overlays=overlays)
+
+
 def ml_query(mlo: MultiLevelOverlay, s: int, t: int) -> Tuple[float, int]:
     """Exact multi-level CRP query; returns ``(distance, settled_count)``."""
     g = mlo.graph
+    if not (0 <= s < g.n and 0 <= t < g.n):
+        raise ValueError(f"query endpoints ({s}, {t}) out of range for n={g.n}")
     levels = mlo.nested.levels
     L = len(levels)
     # per level: does each cell contain s or t?

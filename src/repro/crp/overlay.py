@@ -13,20 +13,142 @@ Queries then search the source cell, the overlay, and the target cell —
 never the interior of any other cell.  Overlay size, and hence both
 customization and query cost, is governed by the number of cut edges:
 exactly the objective PUNCH minimizes.
+
+Customization is the production hot path (a new travel-time profile means
+recomputing every in-cell clique), so it is split metric-independent /
+metric-dependent: a :class:`CellTopology` captures each cell's local CSR
+subgraph and boundary indices once per partition, and
+:func:`customize_overlay` only regathers edge weights into that structure
+and reruns the (cell-local, early-terminating) clique searches.  The
+original scalar paths are retained as bit-identical ``*_reference`` twins
+— :func:`build_overlay_reference` / :func:`customize_overlay_reference` —
+per the repo's vectorization contract (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.partition import Partition
+from ..graph.csr import gather_csr_rows, repeat_rows
 from ..graph.graph import Graph
 from .dijkstra import dijkstra
 
-__all__ = ["Overlay", "build_overlay", "customize_overlay"]
+__all__ = [
+    "Overlay",
+    "CellTopology",
+    "build_cell_topology",
+    "build_overlay",
+    "build_overlay_reference",
+    "customize_overlay",
+    "customize_overlay_reference",
+]
+
+
+# ---------------------------------------------------------------------------
+# Metric-independent per-cell structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CellLocal:
+    """One cell's local search structure (all indices cell-local).
+
+    ``xadj``/``nbr`` are the cell-induced subgraph in CSR form over the
+    cell's members (ascending global id); ``heid`` maps each local
+    half-edge back to its global undirected edge id, which is the only
+    hook a metric swap needs.  ``members``/``blocal`` are kept as plain
+    lists because the clique kernel consumes them item-wise.
+    """
+
+    cell: int
+    members: List[int]  # global vertex ids, ascending
+    blocal: List[int]  # local indices of the boundary vertices, ascending
+    xadj: List[int]  # local CSR offsets (len(members) + 1)
+    nbr: List[int]  # local neighbor index per half-edge
+    heid: np.ndarray  # global edge id per half-edge (weight gather hook)
+
+
+@dataclass
+class CellTopology:
+    """Metric-independent overlay skeleton of one partition.
+
+    Everything :func:`customize_overlay` needs that does *not* depend on
+    edge weights: per-cell local subgraphs, boundary vertex lists, and the
+    cut-edge endpoint arrays.  Built once per partition (the boundary and
+    member index arrays themselves are memoized on the
+    :class:`~repro.core.partition.Partition`) and carried through every
+    customized :class:`Overlay`, so repeated metric swaps re-derive
+    nothing structural.
+    """
+
+    labels: np.ndarray
+    cells: List[_CellLocal]  # cells with >= 1 boundary vertex, ascending id
+    cut_eids: np.ndarray  # undirected cut edge ids
+    cut_u: np.ndarray  # canonical endpoints of the cut edges
+    cut_v: np.ndarray
+
+    @property
+    def num_boundary_cells(self) -> int:
+        """Number of cells owning at least one boundary vertex."""
+        return len(self.cells)
+
+
+def build_cell_topology(partition: Partition) -> CellTopology:
+    """Extract the metric-independent overlay skeleton of ``partition``.
+
+    Vectorized: one batched CSR gather over all members of all boundary
+    cells, split per cell afterwards — no per-vertex Python work.
+    """
+    g = partition.graph
+    labels = partition.labels
+    boff, bverts = partition.boundary_index
+    moff, members_all = partition.cell_index
+
+    # local index of every vertex within its cell's ascending member list
+    local_of = np.zeros(max(g.n, 1), dtype=np.int64)
+    if g.n:
+        local_of[members_all] = np.arange(g.n, dtype=np.int64) - moff[labels[members_all]]
+
+    cut = partition.cut_edges
+    cells: List[_CellLocal] = []
+    for c in np.flatnonzero(np.diff(boff) > 0):
+        c = int(c)
+        mem = members_all[moff[c] : moff[c + 1]]
+        ys = gather_csr_rows(g.xadj, g.adjncy, mem).astype(np.int64)
+        eids = gather_csr_rows(g.xadj, g.eid, mem).astype(np.int64)
+        src = repeat_rows(g.xadj, mem)
+        internal = labels[ys] == c
+        # local CSR offsets: per-member internal-degree prefix sum
+        deg = np.bincount(local_of[src[internal]], minlength=len(mem))
+        xadj = np.zeros(len(mem) + 1, dtype=np.int64)
+        np.cumsum(deg, out=xadj[1:])
+        cells.append(
+            _CellLocal(
+                cell=c,
+                members=[int(v) for v in mem],
+                blocal=[int(x) for x in local_of[bverts[boff[c] : boff[c + 1]]]],
+                xadj=[int(x) for x in xadj],
+                nbr=[int(x) for x in local_of[ys[internal]]],
+                heid=eids[internal],
+            )
+        )
+    return CellTopology(
+        labels=labels,
+        cells=cells,
+        cut_eids=cut,
+        cut_u=g.edge_u[cut].astype(np.int64),
+        cut_v=g.edge_v[cut].astype(np.int64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The overlay
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -36,7 +158,9 @@ class Overlay:
     ``adj`` maps each boundary vertex to ``[(neighbor, weight), ...]``
     combining clique edges (intra-cell shortest-path distances) and cut
     edges (inter-cell).  ``boundary_of_cell`` lists each cell's boundary
-    vertices.
+    vertices.  ``topology`` (when present) is the metric-independent
+    skeleton reused by :func:`customize_overlay`; ``as_csr`` exports the
+    overlay adjacency as flat arrays for the serving engine.
     """
 
     graph: Graph
@@ -45,6 +169,10 @@ class Overlay:
     boundary_of_cell: Dict[int, List[int]]
     clique_edges: int
     cut_edges: int
+    topology: Optional[CellTopology] = None
+    _csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_boundary_vertices(self) -> int:
@@ -55,9 +183,153 @@ class Overlay:
         """Cell id of a vertex under the overlay's partition."""
         return int(self.labels[v])
 
+    def as_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Overlay adjacency as ``(xadj, dst, w)`` flat arrays over all n.
+
+        Non-boundary vertices get empty rows.  Entry order per vertex
+        matches ``adj`` exactly, so array-based searches relax the same
+        candidates as the dict-based scalar path.  Memoized (overlays are
+        immutable once built).
+        """
+        if self._csr is None:
+            n = self.graph.n
+            counts = np.zeros(n, dtype=np.int64)
+            for v, lst in self.adj.items():
+                counts[v] = len(lst)
+            xadj = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=xadj[1:])
+            dst = np.zeros(int(xadj[-1]), dtype=np.int64)
+            w = np.zeros(int(xadj[-1]), dtype=np.float64)
+            for v, lst in self.adj.items():
+                lo = int(xadj[v])
+                for i, (u, wt) in enumerate(lst):
+                    dst[lo + i] = u
+                    w[lo + i] = wt
+            self._csr = (xadj, dst, w)
+        return self._csr
+
+
+# ---------------------------------------------------------------------------
+# Clique kernel (metric-dependent, cell-local)
+# ---------------------------------------------------------------------------
+
+
+def _cell_clique_lists(
+    local: _CellLocal, half_w: List[float]
+) -> List[List[Tuple[int, float]]]:
+    """Per-boundary-vertex clique lists of one cell under one metric.
+
+    Runs one early-terminating Dijkstra per boundary vertex over the
+    cell-local CSR (plain Python lists: local indices are small and dense,
+    so list indexing beats both dict lookups and NumPy scalar reads).
+    Returns, for each boundary vertex ``s`` (in ``blocal`` order), the list
+    ``[(t_global, dist), ...]`` over the other boundary vertices in
+    ascending order — exactly the entries and order the scalar reference
+    appends.  Distances are bit-identical to the reference's masked
+    Dijkstra: both accumulate ``d(parent) + w`` along shortest paths, and
+    equal floats are identical floats.
+    """
+    xadj, nbr, members, blocal = local.xadj, local.nbr, local.members, local.blocal
+    nc = len(members)
+    b = len(blocal)
+    out: List[List[Tuple[int, float]]] = []
+    if b < 2:
+        return [[] for _ in range(b)]
+    is_target = [False] * nc
+    for t in blocal:
+        is_target[t] = True
+    inf = float("inf")
+    for s in blocal:
+        dist = [inf] * nc
+        done = [False] * nc
+        dist[s] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, s)]
+        remaining = b
+        while heap:
+            d, v = heappop(heap)
+            if done[v]:
+                continue
+            done[v] = True
+            if is_target[v]:
+                remaining -= 1
+                if remaining == 0:
+                    break
+            for i in range(xadj[v], xadj[v + 1]):
+                u = nbr[i]
+                nd = d + half_w[i]
+                if nd < dist[u]:
+                    dist[u] = nd
+                    heappush(heap, (nd, u))
+        lst = [
+            (members[t], dist[t]) for t in blocal if t != s and dist[t] != inf
+        ]
+        out.append(lst)
+    return out
+
+
+def _overlay_from_topology(topo: CellTopology, g: Graph) -> Overlay:
+    """Assemble an :class:`Overlay` for graph ``g`` from a prebuilt skeleton.
+
+    ``g`` must share the topology's structure (only weights may differ).
+    Produces per-vertex adjacency lists identical to the scalar reference:
+    clique entries first (ascending targets), then cut edges in cut-edge
+    order.
+    """
+    adj: Dict[int, List[Tuple[int, float]]] = {}
+    boundary_of_cell: Dict[int, List[int]] = {}
+    clique_edges = 0
+    ewgt = g.ewgt
+    for local in topo.cells:
+        half_w = ewgt[local.heid].tolist()
+        cliques = _cell_clique_lists(local, half_w)
+        bglobal = [local.members[t] for t in local.blocal]
+        boundary_of_cell[local.cell] = bglobal
+        if cliques:
+            for s, lst in zip(bglobal, cliques):
+                adj[s] = lst
+                clique_edges += len(lst)
+        else:  # b < 2: boundary vertices still own (empty) overlay rows
+            for s in bglobal:
+                adj[s] = []
+    cut_w = ewgt[topo.cut_eids]
+    for a, b, w in zip(topo.cut_u.tolist(), topo.cut_v.tolist(), cut_w.tolist()):
+        adj.setdefault(a, []).append((b, w))
+        adj.setdefault(b, []).append((a, w))
+    return Overlay(
+        graph=g,
+        labels=topo.labels,
+        adj=adj,
+        boundary_of_cell=boundary_of_cell,
+        clique_edges=clique_edges,
+        cut_edges=len(topo.cut_eids),
+        topology=topo,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public construction / customization
+# ---------------------------------------------------------------------------
+
 
 def build_overlay(partition: Partition) -> Overlay:
-    """Build the CRP overlay for a partition of its graph."""
+    """Build the CRP overlay for a partition of its graph (vectorized).
+
+    Bit-identical to :func:`build_overlay_reference` — same boundary
+    vertices, same adjacency entries in the same per-vertex order, same
+    float distances (pinned by tests) — but batches the structural work
+    into CSR gathers and runs the clique searches cell-locally instead of
+    masking the whole graph per cell.
+    """
+    topo = build_cell_topology(partition)
+    return _overlay_from_topology(topo, partition.graph)
+
+
+def build_overlay_reference(partition: Partition) -> Overlay:
+    """Scalar reference overlay construction (the pre-vectorization path).
+
+    Retained per the repo's contract: the vectorized :func:`build_overlay`
+    must stay bit-identical to this.
+    """
     g = partition.graph
     labels = partition.labels
 
@@ -96,6 +368,18 @@ def build_overlay(partition: Partition) -> Overlay:
     )
 
 
+def _reweighted_graph(g: Graph, new_weights: np.ndarray) -> Graph:
+    """A structural copy of ``g`` under a new metric (arrays shared)."""
+    new_weights = np.asarray(new_weights, dtype=np.float64)
+    if new_weights.shape != (g.m,):
+        raise ValueError("need one weight per edge of the original graph")
+    if g.m and new_weights.min() <= 0:
+        raise ValueError("edge weights must be positive")
+    return Graph(
+        g.xadj, g.adjncy, g.eid, g.edge_u, g.edge_v, g.vsize, new_weights, coords=g.coords
+    )
+
+
 def customize_overlay(overlay: Overlay, new_weights: np.ndarray) -> Overlay:
     """CRP's *customization* phase: swap the metric, keep the partition.
 
@@ -104,14 +388,24 @@ def customize_overlay(overlay: Overlay, new_weights: np.ndarray) -> Overlay:
     avoid-highways, etc. — only requires recomputing the in-cell clique
     distances, not repartitioning.  Returns a fresh overlay over a graph
     with ``new_weights`` (one weight per undirected edge of the original).
+
+    Vectorized: reuses the overlay's :class:`CellTopology` (building it on
+    demand for overlays constructed elsewhere), so only the weight gather
+    and the cell-local clique searches run per metric.  Bit-identical to
+    :func:`customize_overlay_reference`.
     """
-    g = overlay.graph
-    new_weights = np.asarray(new_weights, dtype=np.float64)
-    if new_weights.shape != (g.m,):
-        raise ValueError("need one weight per edge of the original graph")
-    if g.m and new_weights.min() <= 0:
-        raise ValueError("edge weights must be positive")
-    reweighted = Graph(
-        g.xadj, g.adjncy, g.eid, g.edge_u, g.edge_v, g.vsize, new_weights, coords=g.coords
-    )
-    return build_overlay(Partition(reweighted, overlay.labels))
+    g2 = _reweighted_graph(overlay.graph, new_weights)
+    topo = overlay.topology
+    if topo is None:
+        topo = build_cell_topology(Partition(overlay.graph, overlay.labels))
+    return _overlay_from_topology(topo, g2)
+
+
+def customize_overlay_reference(overlay: Overlay, new_weights: np.ndarray) -> Overlay:
+    """Scalar reference customization: full rebuild on a reweighted graph.
+
+    This is the pre-vectorization path (partition re-derivation included);
+    :func:`customize_overlay` must stay bit-identical to it.
+    """
+    g2 = _reweighted_graph(overlay.graph, new_weights)
+    return build_overlay_reference(Partition(g2, overlay.labels))

@@ -23,9 +23,17 @@ __all__ = ["crp_query"]
 def crp_query(overlay: Overlay, s: int, t: int) -> Tuple[float, int]:
     """Exact shortest-path distance; returns ``(distance, settled_count)``.
 
-    ``inf`` if ``t`` is unreachable from ``s``.
+    ``inf`` if ``t`` is unreachable from ``s``.  Handles the edge cases the
+    serving layer depends on (pinned in ``tests/test_crp_edge_cases.py``):
+    ``s == t`` answers ``0.0``, same-cell pairs are exact even when the
+    shortest path detours through foreign cells, and disconnected pairs
+    answer ``inf``.  Endpoints must be real vertex ids — negative ids would
+    otherwise silently wrap through NumPy indexing and answer for the
+    wrong vertex.
     """
     g = overlay.graph
+    if not (0 <= s < g.n and 0 <= t < g.n):
+        raise ValueError(f"query endpoints ({s}, {t}) out of range for n={g.n}")
     labels = overlay.labels
     cs, ct = int(labels[s]), int(labels[t])
     in_endpoint_cell = (labels == cs) | (labels == ct)

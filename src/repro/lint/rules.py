@@ -29,7 +29,15 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 __all__ = ["Violation", "LintContext", "Rule", "RULES", "RULES_BY_ID"]
 
 #: path segments that mark a module as algorithmic (bit-reproducible output)
-ALGORITHMIC_PACKAGES = ("graph", "flow", "filtering", "assembly", "balanced")
+ALGORITHMIC_PACKAGES = (
+    "graph",
+    "flow",
+    "filtering",
+    "assembly",
+    "balanced",
+    "crp",
+    "serve",
+)
 
 #: CSR / shared-view array fields of :class:`repro.graph.graph.Graph`
 CSR_FIELDS = frozenset(

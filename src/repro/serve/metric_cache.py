@@ -1,0 +1,100 @@
+"""LRU of customized metrics, keyed by weight-vector fingerprint.
+
+Production CRP serves a handful of recurring metrics (live traffic
+refreshed every few minutes, time-of-day profiles, vehicle classes): the
+same weight vector comes back again and again, and recustomizing it from
+scratch wastes the dominant cost of the serving layer.  :class:`MetricLRU`
+stores fully customized overlay entries under a
+:func:`metric_fingerprint` — the same canonical-digest idiom as
+:meth:`repro.filtering.cut_problem.CutProblem.fingerprint`, so equal
+fingerprints imply byte-equal weight vectors and a hit returns an overlay
+bit-identical to a fresh customization (caching can change speed, never
+answers).
+
+Unlike :class:`repro.perf.cut_cache.CutCache` (FIFO — its subproblems are
+uniformly cheap), this cache is *recency*-ordered: traffic profiles have
+strong temporal locality, and a customized overlay is expensive enough
+that evicting the least-recently-served metric is worth the extra
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Generic, Optional, TypeVar
+
+import numpy as np
+
+__all__ = ["MetricLRU", "metric_fingerprint"]
+
+T = TypeVar("T")
+
+
+def metric_fingerprint(weights: np.ndarray) -> bytes:
+    """Canonical digest of one weight vector (float64 bytes + length)."""
+    w = np.ascontiguousarray(weights, dtype=np.float64)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(w.shape[0]).tobytes())
+    h.update(w.tobytes())
+    return h.digest()
+
+
+class MetricLRU(Generic[T]):
+    """Bounded fingerprint -> customized-metric store with LRU eviction."""
+
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_store")
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._store: "OrderedDict[bytes, T]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._store
+
+    def get(self, key: bytes) -> Optional[T]:
+        """Look up a customized metric; refreshes recency on a hit."""
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: bytes, value: T) -> None:
+        """Store a customized metric, evicting the least-recent when full."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            return
+        if len(self._store) >= self.max_entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        self._store[key] = value
+
+    def stats(self) -> dict:
+        """Counters for run reports: hits, misses, entries, hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._store),
+            "max_entries": self.max_entries,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

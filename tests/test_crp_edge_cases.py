@@ -1,0 +1,115 @@
+"""Edge-case audit of the CRP query paths (pinned for the serving layer).
+
+The serving engine batches thousands of queries through the same code
+path, so the corner cases — ``s == t``, endpoints in the same cell,
+disconnected pairs, out-of-range ids — must be pinned: a silently wrong
+corner answer would replicate across a whole batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nested import run_nested_punch
+from repro.core.partition import Partition
+from repro.core.punch import run_punch
+from repro.crp import (
+    build_multilevel_overlay,
+    build_overlay,
+    crp_query,
+    dijkstra,
+    ml_query,
+)
+from repro.serve import ServingEngine
+
+from .conftest import make_graph
+
+
+def _two_cell_graph():
+    """Two 4-cliques joined by one heavy bridge; cells = the cliques."""
+    edges = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    edges.append((3, 4))
+    w = [1.0] * (len(edges) - 1) + [10.0]
+    g = make_graph(8, edges, weights=w)
+    labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    return g, Partition(g, labels)
+
+
+def test_query_s_equals_t_interior_and_boundary():
+    g, p = _two_cell_graph()
+    ov = build_overlay(p)
+    # 0 is interior, 3 and 4 are the bridge's boundary vertices
+    for v in (0, 3, 4):
+        d, settled = crp_query(ov, v, v)
+        assert d == 0.0
+        assert settled == 1
+
+
+def test_query_same_cell_exact():
+    g, p = _two_cell_graph()
+    ov = build_overlay(p)
+    for s in range(4):
+        ref, _ = dijkstra(g, s)
+        for t in range(4):
+            d, _ = crp_query(ov, s, t)
+            assert d == ref[t]
+
+
+def test_query_same_cell_detour_through_foreign_cell():
+    """Shortest same-cell path may leave the cell; CRP must still be exact."""
+    # cell 0 = {0, 1, 2} in a line with heavy weights; cell 1 = {3, 4}
+    # offering a cheap bypass 0-3-4-2
+    edges = [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)]
+    w = [10.0, 10.0, 1.0, 1.0, 1.0]
+    g = make_graph(5, edges, weights=w)
+    p = Partition(g, np.array([0, 0, 0, 1, 1]))
+    ov = build_overlay(p)
+    d, _ = crp_query(ov, 0, 2)
+    assert d == 3.0  # through the foreign cell, not 20 within the cell
+
+
+def test_query_disconnected_pair_is_inf():
+    edges = [(0, 1), (1, 2), (3, 4)]
+    g = make_graph(5, edges)
+    p = Partition(g, np.array([0, 0, 0, 1, 1]))
+    ov = build_overlay(p)
+    d, _ = crp_query(ov, 0, 4)
+    assert np.isinf(d)
+    d, _ = crp_query(ov, 4, 1)
+    assert np.isinf(d)
+
+
+@pytest.mark.parametrize("s,t", [(-1, 0), (0, -1), (8, 0), (0, 8), (-3, 12)])
+def test_query_out_of_range_raises(s, t):
+    """Negative ids must raise, not wrap through NumPy indexing."""
+    g, p = _two_cell_graph()
+    ov = build_overlay(p)
+    with pytest.raises(ValueError, match="out of range"):
+        crp_query(ov, s, t)
+
+
+def test_ml_query_edge_cases(road_small):
+    nested = run_nested_punch(road_small, [16, 64])
+    mlo = build_multilevel_overlay(nested)
+    d, settled = ml_query(mlo, 5, 5)
+    assert d == 0.0 and settled == 1
+    with pytest.raises(ValueError, match="out of range"):
+        ml_query(mlo, -1, 5)
+    with pytest.raises(ValueError, match="out of range"):
+        ml_query(mlo, 5, road_small.n)
+
+
+def test_engine_inherits_edge_case_behavior(road_small):
+    res = run_punch(road_small, 48)
+    eng = ServingEngine.from_partition(res.partition)
+    d, settled = eng.query(7, 7)
+    assert d == 0.0 and settled == 1
+    with pytest.raises(ValueError, match="out of range"):
+        eng.query(-1, 0)
+    with pytest.raises(ValueError, match="out of range"):
+        eng.query_batch([0, road_small.n], [1, 2])
