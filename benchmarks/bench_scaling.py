@@ -160,6 +160,17 @@ def main(argv=None) -> int:
     if gate_enforced and gate_key in end_to_end:
         gate_ok = end_to_end[gate_key]["speedup"] >= SPEEDUP_GATE
 
+    # an idle gate must say *why* it idled — a bare pass is indistinguishable
+    # from a machine that actually cleared the speedup bar
+    idled_reason = None
+    if quick:
+        idled_reason = "quick mode: gate only runs on the full instance"
+    elif cores < MIN_CORES_FOR_GATE:
+        idled_reason = (
+            f"cpu_count={cores} < {MIN_CORES_FOR_GATE}: too few cores to "
+            "demonstrate a parallel speedup"
+        )
+
     result = {
         "schema": "bench_scaling/v1",
         "instance": name,
@@ -176,6 +187,7 @@ def main(argv=None) -> int:
         "speedup_gate": SPEEDUP_GATE,
         "speedup_gate_enforced": gate_enforced,
         "speedup_gate_ok": gate_ok,
+        "idled": idled_reason,
         "filtering": filtering,
         "end_to_end": end_to_end,
     }
@@ -183,10 +195,7 @@ def main(argv=None) -> int:
     print(f"wrote {OUT_PATH}")
 
     if not gate_enforced:
-        print(
-            f"speedup gate idle: cpu_count={cores} < {MIN_CORES_FOR_GATE} "
-            "(determinism gate still enforced)"
-        )
+        print(f"speedup gate idle: {idled_reason} (determinism gate still enforced)")
     elif not gate_ok:
         print(
             f"FAIL: processes@4 speedup {end_to_end[gate_key]['speedup']:.2f}x "

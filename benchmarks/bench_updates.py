@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Incremental-update benchmark: dirty-region repair vs full recomputation.
+
+Standalone script (not a pytest bench):
+
+    python benchmarks/bench_updates.py             # full (belgium_like)
+    python benchmarks/bench_updates.py --quick     # CI smoke (small instance)
+    REPRO_BENCH_QUICK=1 python benchmarks/bench_updates.py   # same as --quick
+
+Partitions a synthetic continent graph, builds the CRP overlay, then
+replays a sequence of small clustered delta batches (each touching at
+most ``DELTA_EDGE_FRACTION`` of the edges) through
+:class:`repro.updates.IncrementalUpdater`, patching the overlay in place
+(:func:`patch_overlay` / :func:`patch_overlay_weights`).  Each batch is
+also recomputed from scratch — full ``customize_overlay`` for weight-only
+batches, full ``run_punch`` + ``build_overlay`` for structural ones — and
+the results are written to ``BENCH_updates.json`` (schema
+``bench_updates/v1``; documented in ``docs/UPDATES.md``).
+
+Two gates, both hard failures (exit 1):
+
+- **exactness** (always enforced): the patched overlay must be
+  *bit-identical* to the from-scratch one for weight-only batches, and
+  must answer a seeded query set *exactly* like a fresh whole-graph
+  Dijkstra on the mutated graph for structural batches.  Incrementality
+  may change speed, never answers.
+- **speedup** (enforced on the full instance): the median per-batch
+  speedup of the incremental path over the from-scratch path must be at
+  least ``SPEEDUP_GATE``.  A dirty-region engine that does not clearly
+  beat recomputation on small deltas has no reason to exist.  Quick mode
+  records the ratio unenforced (``"idled"`` says why): on the sub-second
+  smoke instance the per-update fixed overhead (delta materialization,
+  cost accounting) dominates and the ratio is noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import PunchConfig  # noqa: E402
+from repro.core.punch import run_punch  # noqa: E402
+from repro.crp.dijkstra import dijkstra  # noqa: E402
+from repro.crp.overlay import (  # noqa: E402
+    build_overlay,
+    customize_overlay,
+    patch_overlay,
+    patch_overlay_weights,
+)
+from repro.serve import ServingEngine  # noqa: E402
+from repro.synthetic.instances import instance  # noqa: E402
+from repro.updates import (  # noqa: E402
+    IncrementalUpdater,
+    UpdateConfig,
+    synthetic_delta_batch,
+)
+
+U = 96
+SEED = 7
+DELTA_EDGE_FRACTION = 0.01  # each batch touches <= 1% of the edges
+CLUSTERS = 2
+SPEEDUP_GATE = 5.0  # median incremental vs from-scratch, per batch
+QUERIES_PER_BATCH = 30
+BATCH_KINDS = ["reweight", "mixed", "reweight", "grow", "mixed", "reweight"]
+OUT_PATH = REPO_ROOT / "BENCH_updates.json"
+
+
+def overlays_bitwise_equal(a, b) -> bool:
+    """True when two overlays are byte-for-byte the same answers."""
+    if (
+        a.clique_edges != b.clique_edges
+        or a.cut_edges != b.cut_edges
+        or a.boundary_of_cell != b.boundary_of_cell
+        or list(a.adj.keys()) != list(b.adj.keys())
+    ):
+        return False
+    for v in a.adj:
+        ra, rb = a.adj[v], b.adj[v]
+        if len(ra) != len(rb):
+            return False
+        for (t1, w1), (t2, w2) in zip(ra, rb):
+            if t1 != t2 or np.float64(w1).tobytes() != np.float64(w2).tobytes():
+                return False
+    return True
+
+
+def query_mismatches(overlay, g, rng, num_queries: int) -> int:
+    """Served answers vs fresh whole-graph Dijkstra; returns mismatch count."""
+    eng = ServingEngine(overlay)
+    bad = 0
+    for _ in range(num_queries):
+        s, t = int(rng.integers(0, g.n)), int(rng.integers(0, g.n))
+        ref, _ = dijkstra(g, s, targets=[t])
+        expected = ref.get(t, float("inf"))
+        d, _ = eng.query(s, t)
+        if np.isinf(expected):
+            bad += int(not np.isinf(d))
+        else:
+            bad += int(d != expected)
+    return bad
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke (small instance)")
+    args = ap.parse_args(argv)
+    quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK", ""))
+
+    name = "small_like" if quick else "belgium_like"
+    kinds = BATCH_KINDS[:3] if quick else BATCH_KINDS
+
+    g = instance(name)
+    batch_size = max(4, int(g.m * DELTA_EDGE_FRACTION))
+    print(
+        f"bench_updates: {name} (n={g.n}, m={g.m}), U={U}, "
+        f"batch_size={batch_size} ({100 * batch_size / g.m:.2f}% of edges), "
+        f"quick={quick}"
+    )
+
+    t0 = time.perf_counter()
+    res = run_punch(g, U, PunchConfig(seed=SEED))
+    overlay = build_overlay(res.partition)
+    t_initial = time.perf_counter() - t0
+    print(
+        f"  initial build: {t_initial:.2f} s, "
+        f"{res.partition.num_cells} cells, cost {res.cost:g}"
+    )
+
+    upd = IncrementalUpdater(res.partition, U, punch_config=PunchConfig(seed=SEED))
+    rng = np.random.default_rng(SEED)
+
+    batches = []
+    exact_mismatches = 0
+    speedups = []
+    for i, kind in enumerate(kinds):
+        batch = synthetic_delta_batch(
+            upd.graph, kind=kind, count=batch_size, seed=100 + i, clusters=CLUSTERS
+        )
+
+        t0 = time.perf_counter()
+        r = upd.apply(batch)
+        if r.structural:
+            patched = patch_overlay(overlay, r.partition, r.reusable, r.eid_map)
+        else:
+            patched = patch_overlay_weights(overlay, r.graph.ewgt, r.dirty_cells)
+        t_update = time.perf_counter() - t0
+
+        # from-scratch baseline: what a batch-only pipeline must redo
+        g2 = r.graph
+        t0 = time.perf_counter()
+        if r.structural:
+            fresh_res = run_punch(g2, U, PunchConfig(seed=SEED))
+            fresh = build_overlay(fresh_res.partition)
+        else:
+            fresh = customize_overlay(overlay, g2.ewgt)
+        t_rebuild = time.perf_counter() - t0
+
+        # exactness gates
+        mismatches = 0
+        if not r.structural:
+            # weight-only: patched overlay must be bit-identical to a
+            # from-scratch customization (same partition, same topology)
+            mismatches += int(not overlays_bitwise_equal(patched, fresh))
+        else:
+            # structural: repaired partition may legitimately differ from
+            # the from-scratch one, but served answers must be exact
+            mismatches += query_mismatches(patched, g2, rng, QUERIES_PER_BATCH)
+        exact_mismatches += mismatches
+
+        speedup = t_rebuild / t_update if t_update > 0 else float("inf")
+        speedups.append(speedup)
+        rec = r.record
+        batches.append(
+            {
+                "kind": kind,
+                "num_deltas": len(batch),
+                "mode": rec.mode,
+                "fallback": rec.fallback,
+                "dirty_cells": rec.dirty_cells,
+                "dirty_fraction": rec.dirty_fraction,
+                "cache_hits": rec.cache_hits,
+                "cache_misses": rec.cache_misses,
+                "update_s": t_update,
+                "rebuild_s": t_rebuild,
+                "speedup": speedup,
+                "exact_mismatches": mismatches,
+            }
+        )
+        print(
+            f"  batch {i} {kind:9s} mode={rec.mode:8s} "
+            f"dirty={rec.dirty_cells:3d} cells ({rec.dirty_fraction:6.1%})  "
+            f"update {t_update * 1e3:8.1f} ms  rebuild {t_rebuild * 1e3:8.1f} ms  "
+            f"speedup {speedup:6.1f}x  mismatches={mismatches}"
+        )
+
+        overlay = patched  # next batch patches the live overlay
+
+    median_speedup = statistics.median(speedups)
+    exact_ok = exact_mismatches == 0
+    speedup_gate_enforced = not quick
+    speedup_ok = median_speedup >= SPEEDUP_GATE
+    idled_reason = None
+    if quick:
+        idled_reason = (
+            "quick mode: per-update fixed overhead dominates on the smoke "
+            "instance; gate only runs on the full instance"
+        )
+
+    result = {
+        "schema": "bench_updates/v1",
+        "instance": name,
+        "n": g.n,
+        "m": g.m,
+        "U": U,
+        "seed": SEED,
+        "quick": quick,
+        "cpu_count": os.cpu_count() or 1,
+        "generated_unix": int(time.time()),
+        "batch_size": batch_size,
+        "batch_edge_fraction": batch_size / g.m,
+        "clusters": CLUSTERS,
+        "initial_build_s": t_initial,
+        "num_batches": len(batches),
+        "exactness_gate_ok": exact_ok,
+        "exact_mismatches": exact_mismatches,
+        "speedup_gate": SPEEDUP_GATE,
+        "speedup_gate_enforced": speedup_gate_enforced,
+        "speedup_gate_ok": speedup_ok,
+        "idled": idled_reason,
+        "median_speedup": median_speedup,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "journal": upd.journal.report(),
+        "batches": batches,
+    }
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    print(
+        f"median speedup {median_speedup:.1f}x (gate {SPEEDUP_GATE}x), "
+        f"exact mismatches {exact_mismatches}"
+    )
+
+    if not exact_ok:
+        print(
+            f"FAIL: {exact_mismatches} exactness mismatches — incrementality "
+            "changed answers",
+            file=sys.stderr,
+        )
+        return 1
+    if not speedup_gate_enforced:
+        print(f"speedup gate idle: {idled_reason} (exactness gate still enforced)")
+    elif not speedup_ok:
+        print(
+            f"FAIL: median speedup {median_speedup:.1f}x below gate "
+            f"{SPEEDUP_GATE}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

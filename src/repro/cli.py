@@ -7,6 +7,7 @@ Commands
 - ``partition GRAPH -U N``          : unbalanced PUNCH (paper's main problem)
 - ``balanced GRAPH -k K [--strong]``: balanced PUNCH (Section 4)
 - ``replay GRAPH -U N``             : serving-layer query-log replay (CRP)
+- ``update GRAPH -U N``             : incremental dirty-region updates (live graph)
 
 Graph files are DIMACS ``.gr``(.gz) or METIS ``.graph``(.gz), inferred from
 the extension.  Partitions are written as one cell id per line.
@@ -334,6 +335,95 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_update(args) -> int:
+    """``repro update``: apply delta batches through the incremental engine."""
+    import json
+    from time import perf_counter
+
+    from .core.punch import run_punch
+    from .updates import (
+        IncrementalUpdater,
+        UpdateConfig,
+        deltas_from_json,
+        synthetic_delta_batch,
+    )
+
+    if args.name:
+        from .synthetic import instance
+
+        g = instance(args.name)
+    elif args.graph:
+        g = _load_graph(args.graph)
+    else:
+        raise SystemExit("error: give a GRAPH file or --name INSTANCE")
+    if args.deltas is None and args.synthetic is None:
+        raise SystemExit("error: give --deltas FILE or --synthetic KIND")
+
+    cfg = PunchConfig(seed=args.seed)
+    san = _enable_sanitizer(args)
+    t0 = perf_counter()
+    res = run_punch(g, args.U, cfg)
+    build_s = perf_counter() - t0
+    print(f"initial partition: {res.partition.num_cells} cells, "
+          f"cost {res.partition.cost:g} ({build_s:.3f}s)")
+
+    try:
+        ucfg = UpdateConfig(
+            halo=args.halo,
+            quality_ratio=args.quality_ratio,
+            max_dirty_fraction=args.max_dirty_fraction,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    updater = IncrementalUpdater(res.partition, args.U, config=ucfg, punch_config=cfg)
+
+    if args.deltas is not None:
+        batches = [deltas_from_json(Path(args.deltas).read_text())]
+    else:
+        base_seed = args.seed if args.seed is not None else 0
+        batches = [
+            synthetic_delta_batch(g, kind=args.synthetic, count=args.count, seed=base_seed + i)
+            for i in range(args.batches)
+        ]
+        # synthetic batches address the *initial* graph; regenerate lazily
+        # below when earlier batches changed the structure
+
+    for i in range(len(batches)):
+        if args.deltas is None and i > 0:
+            base_seed = args.seed if args.seed is not None else 0
+            batches[i] = synthetic_delta_batch(
+                updater.graph, kind=args.synthetic, count=args.count, seed=base_seed + i
+            )
+        r = updater.apply(batches[i])
+        rec = r.record
+        print(
+            f"update #{rec.seq}: {rec.kind:10s} {rec.mode:8s} "
+            f"dirty {rec.dirty_cells}/{r.partition.num_cells} cells "
+            f"({rec.dirty_fraction:.1%} of graph)  {rec.latency_s * 1e3:.1f} ms  "
+            f"cache reuse {rec.cache_reuse_rate:.0%}"
+            + (f"  [fallback: {rec.fallback_reason}]" if rec.fallback else "")
+        )
+
+    report = updater.run_report()
+    agg = report["updates"]
+    print(f"applied        : {agg['updates']} batch(es), {agg['fallbacks']} fallback(s)")
+    print(f"median latency : {agg['latency_s_median'] * 1e3:.1f} ms")
+    print(f"cache reuse    : {agg['cache_reuse_rate']:.2f}")
+    if args.compare_rebuild:
+        t0 = perf_counter()
+        run_punch(updater.graph, args.U, cfg)
+        rebuild_s = perf_counter() - t0
+        speedup = rebuild_s / max(agg["latency_s_median"], 1e-9)
+        print(f"full rebuild   : {rebuild_s:.3f}s -> median speedup {speedup:.1f}x")
+        report["updates"]["rebuild_s"] = rebuild_s
+        report["updates"]["median_speedup"] = speedup
+    rc = _print_sanitizer(san)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote report to {args.json}")
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     p = argparse.ArgumentParser(
@@ -395,6 +485,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--workers", type=int, default=None, metavar="N")
     sp.set_defaults(fn=cmd_replay)
+
+    sp = sub.add_parser(
+        "update",
+        help="apply graph delta batches through the incremental update engine",
+    )
+    sp.add_argument("graph", nargs="?", help="graph file (.gr/.graph, or use --name)")
+    sp.add_argument("--name", help="named synthetic instance (e.g. belgium_like)")
+    sp.add_argument("-U", type=int, required=True, help="maximum cell size")
+    sp.add_argument(
+        "--deltas", metavar="FILE", help="JSON delta batch (see docs/UPDATES.md)"
+    )
+    sp.add_argument(
+        "--synthetic",
+        choices=("reweight", "mixed", "grow"),
+        help="generate seeded synthetic batches instead of --deltas",
+    )
+    sp.add_argument("--count", type=int, default=10, help="edits per synthetic batch")
+    sp.add_argument("--batches", type=int, default=3, help="synthetic batches to apply")
+    sp.add_argument("--halo", type=int, default=1, help="dirty-region BFS halo depth")
+    sp.add_argument(
+        "--quality-ratio",
+        type=float,
+        default=1.5,
+        help="repair degradation bound before full-rebuild fallback",
+    )
+    sp.add_argument(
+        "--max-dirty-fraction",
+        type=float,
+        default=0.35,
+        help="dirty-region share of the graph before full-rebuild fallback",
+    )
+    sp.add_argument(
+        "--compare-rebuild",
+        action="store_true",
+        help="also time a full PUNCH rebuild of the final graph and print the speedup",
+    )
+    sp.add_argument("--seed", type=int, default=None)
+    sp.add_argument("--sanitize", action="store_true", help="arm the runtime sanitizer")
+    sp.add_argument("--json", metavar="PATH", help="write the update run report here")
+    sp.set_defaults(fn=cmd_update)
     return p
 
 

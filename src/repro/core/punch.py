@@ -43,6 +43,7 @@ def run_punch(
     rng: np.random.Generator | None = None,
     budget: RunBudget | None = None,
     parallel=None,
+    cut_cache=None,
 ) -> PunchResult:
     """Partition ``g`` into cells of size at most ``U`` with PUNCH.
 
@@ -83,13 +84,22 @@ def run_punch(
     try:
         ncomp, comp = connected_components(g)
         if ncomp > 1:
-            result = _run_per_component(g, U, config, rng, ncomp, comp, budget, parallel)
+            result = _run_per_component(
+                g, U, config, rng, ncomp, comp, budget, parallel, cut_cache
+            )
             if supervisor is not None and not result.supervisor_report:
                 result.supervisor_report = supervisor.report()
             return result
 
         filt = run_filtering(
-            g, U, config.filter, rng, runtime=config.runtime, budget=budget, parallel=parallel
+            g,
+            U,
+            config.filter,
+            rng,
+            runtime=config.runtime,
+            budget=budget,
+            parallel=parallel,
+            cut_cache=cut_cache,
         )
         t0 = time.perf_counter()
         asm = run_assembly(
@@ -136,6 +146,7 @@ def _run_per_component(
     comp: np.ndarray,
     budget: RunBudget | None = None,
     parallel=None,
+    cut_cache=None,
 ) -> PunchResult:
     """Partition each connected component independently and merge.
 
@@ -163,7 +174,9 @@ def _run_per_component(
             offset += 1
             continue
         sub, sub_to_g, _ = induced_subgraph(g, members)
-        res = run_punch(sub, U, config, rng, budget=budget, parallel=parallel)
+        res = run_punch(
+            sub, U, config, rng, budget=budget, parallel=parallel, cut_cache=cut_cache
+        )
         labels[sub_to_g] = res.partition.labels + offset
         offset += res.partition.num_cells
         total["time_tiny"] += res.time_tiny

@@ -46,6 +46,9 @@ __all__ = [
     "build_overlay_reference",
     "customize_overlay",
     "customize_overlay_reference",
+    "patch_cell_topology",
+    "patch_overlay",
+    "patch_overlay_weights",
 ]
 
 
@@ -267,21 +270,34 @@ def _cell_clique_lists(
     return out
 
 
-def _overlay_from_topology(topo: CellTopology, g: Graph) -> Overlay:
+def _overlay_from_topology(
+    topo: CellTopology,
+    g: Graph,
+    reuse_cliques: Optional[Dict[int, List[List[Tuple[int, float]]]]] = None,
+) -> Overlay:
     """Assemble an :class:`Overlay` for graph ``g`` from a prebuilt skeleton.
 
     ``g`` must share the topology's structure (only weights may differ).
     Produces per-vertex adjacency lists identical to the scalar reference:
     clique entries first (ascending targets), then cut edges in cut-edge
     order.
+
+    ``reuse_cliques`` maps a cell id to that cell's precomputed clique
+    lists (``blocal`` order) — the incremental update path passes the rows
+    of cells whose internal metric is untouched, so only dirty cells run
+    the clique kernel.  Reused rows must equal what the kernel would
+    produce; the bit-identity contract is property-tested.
     """
     adj: Dict[int, List[Tuple[int, float]]] = {}
     boundary_of_cell: Dict[int, List[int]] = {}
     clique_edges = 0
     ewgt = g.ewgt
     for local in topo.cells:
-        half_w = ewgt[local.heid].tolist()
-        cliques = _cell_clique_lists(local, half_w)
+        if reuse_cliques is not None and local.cell in reuse_cliques:
+            cliques = reuse_cliques[local.cell]
+        else:
+            half_w = ewgt[local.heid].tolist()
+            cliques = _cell_clique_lists(local, half_w)
         bglobal = [local.members[t] for t in local.blocal]
         boundary_of_cell[local.cell] = bglobal
         if cliques:
@@ -409,3 +425,171 @@ def customize_overlay_reference(overlay: Overlay, new_weights: np.ndarray) -> Ov
     """
     g2 = _reweighted_graph(overlay.graph, new_weights)
     return build_overlay_reference(Partition(g2, overlay.labels))
+
+
+# ---------------------------------------------------------------------------
+# Incremental patching (dirty-region updates, docs/UPDATES.md)
+# ---------------------------------------------------------------------------
+
+
+def _cut_entry_counts(topo: CellTopology, n: int) -> np.ndarray:
+    """Per-vertex count of cut entries appended to its overlay row.
+
+    Each overlay row is clique entries followed by cut entries, so this is
+    exactly what :func:`_clique_prefix_rows` strips off the tail.
+    """
+    ends = np.concatenate([topo.cut_u, topo.cut_v]) if len(topo.cut_eids) else (
+        np.zeros(0, dtype=np.int64)
+    )
+    return np.bincount(ends, minlength=n)
+
+
+def _clique_prefix_rows(
+    overlay: Overlay, cut_count: np.ndarray, local: _CellLocal
+) -> List[List[Tuple[int, float]]]:
+    """One cell's clique lists recovered from a built overlay's rows.
+
+    ``cut_count`` is :func:`_cut_entry_counts` of the overlay's own
+    topology (computed once by the caller, shared across cells).
+    """
+    out: List[List[Tuple[int, float]]] = []
+    for t in local.blocal:
+        s = local.members[t]
+        row = overlay.adj[s]
+        out.append(row[: len(row) - int(cut_count[s])])
+    return out
+
+
+def patch_cell_topology(
+    topo: CellTopology,
+    partition: Partition,
+    reusable: Dict[int, int],
+    eid_map: np.ndarray,
+) -> CellTopology:
+    """Rebuild a :class:`CellTopology` touching only dirty cells.
+
+    ``partition`` is the repaired partition of the *mutated* graph;
+    ``reusable`` maps each new cell id whose structure is untouched to its
+    old cell id (see :class:`repro.updates.engine.UpdateResult`);
+    ``eid_map`` remaps old undirected edge ids to new ones (``-1`` =
+    removed).  Reused cells copy their old local CSR with ``heid``
+    remapped; every other boundary cell is gathered fresh, exactly as
+    :func:`build_cell_topology` would.
+    """
+    g = partition.graph
+    labels = partition.labels
+    boff, bverts = partition.boundary_index
+    moff, members_all = partition.cell_index
+
+    local_of = np.zeros(max(g.n, 1), dtype=np.int64)
+    if g.n:
+        local_of[members_all] = np.arange(g.n, dtype=np.int64) - moff[labels[members_all]]
+
+    old_cells = {lc.cell: lc for lc in topo.cells}
+    cut = partition.cut_edges
+    cells: List[_CellLocal] = []
+    for c in np.flatnonzero(np.diff(boff) > 0):
+        c = int(c)
+        old_id = reusable.get(c)
+        old_lc = old_cells.get(old_id) if old_id is not None else None
+        if old_lc is not None:
+            mem = members_all[moff[c] : moff[c + 1]]
+            if not np.array_equal(np.asarray(old_lc.members, dtype=np.int64), mem):
+                raise AssertionError(
+                    f"cell {c} marked reusable but its members changed"
+                )
+            heid = eid_map[old_lc.heid]
+            if heid.size and int(heid.min()) < 0:
+                raise AssertionError(
+                    f"cell {c} marked reusable but references a removed edge"
+                )
+            cells.append(
+                _CellLocal(
+                    cell=c,
+                    members=old_lc.members,
+                    blocal=old_lc.blocal,
+                    xadj=old_lc.xadj,
+                    nbr=old_lc.nbr,
+                    heid=heid,
+                )
+            )
+            continue
+        mem = members_all[moff[c] : moff[c + 1]]
+        ys = gather_csr_rows(g.xadj, g.adjncy, mem).astype(np.int64)
+        eids = gather_csr_rows(g.xadj, g.eid, mem).astype(np.int64)
+        src = repeat_rows(g.xadj, mem)
+        internal = labels[ys] == c
+        deg = np.bincount(local_of[src[internal]], minlength=len(mem))
+        xadj = np.zeros(len(mem) + 1, dtype=np.int64)
+        np.cumsum(deg, out=xadj[1:])
+        cells.append(
+            _CellLocal(
+                cell=c,
+                members=[int(v) for v in mem],
+                blocal=[int(x) for x in local_of[bverts[boff[c] : boff[c + 1]]]],
+                xadj=[int(x) for x in xadj],
+                nbr=[int(x) for x in local_of[ys[internal]]],
+                heid=eids[internal],
+            )
+        )
+    return CellTopology(
+        labels=labels,
+        cells=cells,
+        cut_eids=cut,
+        cut_u=g.edge_u[cut].astype(np.int64),
+        cut_v=g.edge_v[cut].astype(np.int64),
+    )
+
+
+def patch_overlay(
+    overlay: Overlay,
+    partition: Partition,
+    reusable: Dict[int, int],
+    eid_map: np.ndarray,
+) -> Overlay:
+    """Patch an overlay after a *structural* update (dirty cells only).
+
+    ``partition`` is the repaired partition of the mutated graph.  Reused
+    cells keep their clique rows verbatim (their members, internal edges,
+    and internal metric are untouched by construction — the update engine
+    guarantees it); dirty cells rebuild topology and rerun the clique
+    kernel; cut entries are regathered for every boundary vertex.  The
+    result is bit-identical to ``build_overlay(partition)``.
+    """
+    old_topo = overlay.topology
+    if old_topo is None:
+        old_topo = build_cell_topology(Partition(overlay.graph, overlay.labels))
+    topo = patch_cell_topology(old_topo, partition, reusable, eid_map)
+    old_cells = {lc.cell: lc for lc in old_topo.cells}
+    cut_count = _cut_entry_counts(old_topo, overlay.graph.n)
+    reuse: Dict[int, List[List[Tuple[int, float]]]] = {}
+    for lc in topo.cells:
+        old_id = reusable.get(lc.cell)
+        if old_id is not None and old_id in old_cells:
+            reuse[lc.cell] = _clique_prefix_rows(overlay, cut_count, old_cells[old_id])
+    return _overlay_from_topology(topo, partition.graph, reuse_cliques=reuse)
+
+
+def patch_overlay_weights(
+    overlay: Overlay, new_weights: np.ndarray, dirty_cells: "List[int] | np.ndarray"
+) -> Overlay:
+    """Patch an overlay after a *weight-only* update.
+
+    ``dirty_cells`` are the cells containing at least one reweighted
+    intra-cell edge (the update engine computes them); only their clique
+    searches rerun.  All cut entries are regathered from ``new_weights``
+    (cheap — one fancy index).  Bit-identical to
+    ``customize_overlay(overlay, new_weights)``, which is itself
+    bit-identical to the scalar reference.
+    """
+    g2 = _reweighted_graph(overlay.graph, new_weights)
+    topo = overlay.topology
+    if topo is None:
+        topo = build_cell_topology(Partition(overlay.graph, overlay.labels))
+    dirty = {int(c) for c in dirty_cells}
+    cut_count = _cut_entry_counts(topo, overlay.graph.n)
+    reuse: Dict[int, List[List[Tuple[int, float]]]] = {}
+    for lc in topo.cells:
+        if lc.cell not in dirty:
+            reuse[lc.cell] = _clique_prefix_rows(overlay, cut_count, lc)
+    return _overlay_from_topology(topo, g2, reuse_cliques=reuse)

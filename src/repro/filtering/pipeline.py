@@ -91,6 +91,7 @@ def run_filtering(
     runtime: RuntimeConfig | None = None,
     budget: RunBudget | None = None,
     parallel=None,
+    cut_cache: CutCache | None = None,
 ) -> FilterResult:
     """Run the filtering phase of PUNCH on ``g`` with cell bound ``U``.
 
@@ -102,6 +103,13 @@ def run_filtering(
     natural-cut detection through the shared-memory worker pool; the
     detected cuts — and therefore the fragment graph — are bit-identical
     to the sequential path.  It overrides ``config.executor``/``workers``.
+
+    ``cut_cache`` injects a caller-owned (possibly long-lived) cache of
+    min-cut solves instead of the per-run cache ``config.use_cut_cache``
+    would create; the incremental update engine uses this to reuse
+    untouched-fingerprint entries across successive localized re-filters.
+    Cache hits are bit-identical to fresh solves, so injection can change
+    only speed, never the fragments.
     """
     config = FilterConfig() if config is None else config
     rng = np.random.default_rng() if rng is None else rng
@@ -136,9 +144,8 @@ def run_filtering(
     natural_stats = None
     t0 = time.perf_counter()
     if config.detect_natural_cuts:
-        cut_cache = (
-            CutCache(config.cut_cache_entries) if config.use_cut_cache else None
-        )
+        if cut_cache is None and config.use_cut_cache:
+            cut_cache = CutCache(config.cut_cache_entries)
         with profile_span("filter.natural_cuts"):
             cut_ids, natural_stats = detect_natural_cuts(
                 chain.current,

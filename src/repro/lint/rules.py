@@ -37,6 +37,7 @@ ALGORITHMIC_PACKAGES = (
     "balanced",
     "crp",
     "serve",
+    "updates",
 )
 
 #: CSR / shared-view array fields of :class:`repro.graph.graph.Graph`

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from threading import Lock
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,9 +47,15 @@ from ..crp.overlay import (
     build_cell_topology,
     build_overlay,
     customize_overlay,
+    patch_overlay,
+    patch_overlay_weights,
 )
 from .metric_cache import MetricLRU, metric_fingerprint
 from .workspace import SearchWorkspace
+
+if TYPE_CHECKING:  # runtime import is deferred to enable_updates (no cycle)
+    from ..updates.deltas import DeltaBatch
+    from ..updates.engine import IncrementalUpdater, UpdateConfig, UpdateResult
 
 __all__ = ["ServingConfig", "ServingEngine"]
 
@@ -101,6 +107,10 @@ class _Counters:
     fanout_batches: int = 0
     fanout_degraded: int = 0
     settled_total: int = 0
+    updates: int = 0
+    weight_updates: int = 0
+    structural_updates: int = 0
+    metrics_invalidated: int = 0
 
 
 class ServingEngine:
@@ -161,6 +171,7 @@ class ServingEngine:
         self._base = base
         self._active = base
         self.cache.put(metric_fingerprint(g.ewgt), base)
+        self._updater: Optional["IncrementalUpdater"] = None
 
     # -- construction ------------------------------------------------------
 
@@ -223,6 +234,86 @@ class ServingEngine:
         self.cache.put(key, fresh)
         self._active = fresh
         return False
+
+    # -- live updates ------------------------------------------------------
+
+    def enable_updates(
+        self,
+        U: int,
+        update_config: Optional["UpdateConfig"] = None,
+        punch_config: Optional[Any] = None,
+    ) -> "IncrementalUpdater":
+        """Attach an incremental update engine to this server.
+
+        Returns the :class:`~repro.updates.engine.IncrementalUpdater`
+        bound to the engine's partition; feed delta batches through
+        :meth:`apply_update` so the overlay, flattened CSR, and metric
+        cache stay consistent with the repaired partition.  Multi-level
+        engines are not supported (nested partitions would need per-level
+        repair; see docs/UPDATES.md).
+        """
+        if self._multilevel:
+            raise NotImplementedError(
+                "live updates require a two-level engine; rebuild the "
+                "multi-level overlay after graph changes instead"
+            )
+        from ..updates.engine import IncrementalUpdater
+
+        assert isinstance(self._base, _FlatMetric)
+        partition = Partition(self._graph, self._base.overlay.labels)
+        self._updater = IncrementalUpdater(
+            partition, U, config=update_config, punch_config=punch_config
+        )
+        return self._updater
+
+    def apply_update(self, batch: "DeltaBatch") -> "UpdateResult":
+        """Apply a delta batch to the live engine (repair + overlay patch).
+
+        Weight-only batches patch the base overlay's dirty clique rows and
+        *keep* every cached customized metric — the partition structure is
+        unchanged, so a cached metric for weight vector ``w`` still
+        answers exactly.  Structural batches repair the partition
+        (:class:`~repro.updates.engine.IncrementalUpdater`), patch the
+        overlay cell-by-cell, invalidate every cached metric (their weight
+        vectors no longer index this graph), and reflatten the engine's
+        CSR/label state.  Either way the patched overlay is bit-identical
+        to a from-scratch build on the mutated graph, so no stale answer
+        can be served.  Not safe concurrently with in-flight queries.
+        """
+        if self._updater is None:
+            raise RuntimeError("call enable_updates(U) before apply_update")
+        assert isinstance(self._base, _FlatMetric)
+        result = self._updater.apply(batch)
+        g2 = result.graph
+        base_overlay = self._base.overlay
+        invalidated = 0
+        if not result.structural:
+            new_overlay = patch_overlay_weights(
+                base_overlay, g2.ewgt, result.dirty_cells
+            )
+        else:
+            new_overlay = patch_overlay(
+                base_overlay, result.partition, result.reusable, result.eid_map
+            )
+            invalidated = self.cache.clear()
+            self._xadj = g2.xadj.tolist()
+            self._adjncy = g2.adjncy.tolist()
+            self._labels = result.partition.labels.tolist()
+            with self._ws_lock:
+                self._ws_pool.clear()  # pooled workspaces are sized to the old n
+        self._graph = g2
+        self._base = self._flatten_flat(new_overlay)
+        self._active = self._base
+        self.cache.put(metric_fingerprint(g2.ewgt), self._base)
+        if self.config.collect_stats:
+            c = self.counters
+            c.updates += 1
+            if result.structural:
+                c.structural_updates += 1
+            else:
+                c.weight_updates += 1
+            c.metrics_invalidated += invalidated
+        return result
 
     # -- workspace pool ----------------------------------------------------
 
@@ -472,6 +563,17 @@ class ServingEngine:
             "workspaces": self._ws_created,
             "stats_enabled": self.config.collect_stats,
             "metric_cache": self.cache.stats(),
+            "updates": {
+                "applied": c.updates,
+                "weight": c.weight_updates,
+                "structural": c.structural_updates,
+                "metrics_invalidated": c.metrics_invalidated,
+                **(
+                    {"journal": self._updater.journal.report()}
+                    if self._updater is not None
+                    else {}
+                ),
+            },
         }
 
     def run_report(self) -> dict:
@@ -483,6 +585,4 @@ class ServingEngine:
     def reset_counters(self) -> None:
         """Zero the query/customization counters (cache contents kept)."""
         self.counters = _Counters()
-        self.cache.hits = 0
-        self.cache.misses = 0
-        self.cache.evictions = 0
+        self.cache.reset_counters()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Generic, Optional, TypeVar
+from typing import Generic, Iterable, Optional, TypeVar
 
 import numpy as np
 
@@ -43,7 +43,7 @@ def metric_fingerprint(weights: np.ndarray) -> bytes:
 class MetricLRU(Generic[T]):
     """Bounded fingerprint -> customized-metric store with LRU eviction."""
 
-    __slots__ = ("max_entries", "hits", "misses", "evictions", "_store")
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "invalidations", "_store")
 
     def __init__(self, max_entries: int = 8) -> None:
         if max_entries <= 0:
@@ -52,6 +52,7 @@ class MetricLRU(Generic[T]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self._store: "OrderedDict[bytes, T]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -89,12 +90,41 @@ class MetricLRU(Generic[T]):
             "entries": len(self._store),
             "max_entries": self.max_entries,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": (self.hits / total) if total else 0.0,
         }
 
-    def clear(self) -> None:
-        """Drop all entries and reset counters."""
+    def invalidate(self, fingerprints: Iterable[bytes]) -> int:
+        """Drop the given fingerprints; returns how many were present.
+
+        Removals count as *invalidations*, never evictions — eviction is
+        capacity pressure, invalidation is a correctness action (the
+        entry's answers would be stale, e.g. after a structural graph
+        update).  Conflating them would hide stale-metric hazards behind
+        ordinary cache churn in run reports.
+        """
+        removed = 0
+        for key in fingerprints:
+            if self._store.pop(key, None) is not None:
+                removed += 1
+        self.invalidations += removed
+        return removed
+
+    def clear(self) -> int:
+        """Invalidate every entry; returns how many were dropped.
+
+        Hit/miss/eviction counters are preserved — clearing is an
+        invalidation event, not a statistics reset (the serving engine
+        resets counters explicitly in ``reset_counters``).
+        """
+        removed = len(self._store)
         self._store.clear()
+        self.invalidations += removed
+        return removed
+
+    def reset_counters(self) -> None:
+        """Zero all counters (cache contents kept)."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0

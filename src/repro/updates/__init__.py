@@ -1,0 +1,51 @@
+"""Incremental repartitioning: dirty-region updates over a live partition.
+
+Public surface of the update engine (see ``docs/UPDATES.md``):
+
+- :mod:`.deltas` — the graph delta model (:class:`DeltaBatch`,
+  :func:`apply_delta_batch`, synthetic/JSON helpers);
+- :mod:`.journal` — dirty-region computation and per-update telemetry
+  (:class:`DirtyRegionJournal`);
+- :mod:`.engine` — the :class:`IncrementalUpdater` repair driver with the
+  quality-guarded full-rebuild fallback.
+
+Overlay patching lives with the overlay itself
+(:func:`repro.crp.overlay.patch_overlay` /
+:func:`repro.crp.overlay.patch_overlay_weights`), and the serving
+integration in :meth:`repro.serve.engine.ServingEngine.apply_update`.
+"""
+
+from .deltas import (
+    DeltaBatch,
+    EdgeAdd,
+    EdgeRemove,
+    EdgeReweight,
+    MutatedGraph,
+    VertexAdd,
+    apply_delta_batch,
+    deltas_from_json,
+    deltas_to_json,
+    synthetic_delta_batch,
+)
+from .engine import IncrementalUpdater, UpdateConfig, UpdateResult
+from .journal import DirtyRegion, DirtyRegionJournal, UpdateRecord, compute_dirty_region
+
+__all__ = [
+    "DeltaBatch",
+    "EdgeAdd",
+    "EdgeRemove",
+    "EdgeReweight",
+    "VertexAdd",
+    "MutatedGraph",
+    "apply_delta_batch",
+    "synthetic_delta_batch",
+    "deltas_from_json",
+    "deltas_to_json",
+    "DirtyRegion",
+    "DirtyRegionJournal",
+    "UpdateRecord",
+    "compute_dirty_region",
+    "IncrementalUpdater",
+    "UpdateConfig",
+    "UpdateResult",
+]

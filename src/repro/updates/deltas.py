@@ -1,0 +1,437 @@
+"""Graph delta model for incremental repartitioning.
+
+A :class:`DeltaBatch` is an ordered collection of primitive graph edits —
+edge reweights, edge additions/removals, and vertex additions — the kinds
+of change a live road network actually sees (traffic reweighting, road
+closures, new subdivisions).  :func:`apply_delta_batch` materializes the
+batch into a fresh :class:`~repro.graph.graph.Graph` (graphs are immutable
+by contract) together with the bookkeeping the incremental engine needs:
+
+- ``eid_map`` — old undirected edge id → new edge id (``-1`` for removed
+  edges), so metric-independent structures keyed by edge id
+  (:class:`~repro.crp.overlay.CellTopology` half-edge hooks) can be
+  remapped instead of rebuilt;
+- ``touched_vertices`` — every *pre-existing* vertex incident to a
+  structural edit or a reweighted edge, the seed set of the dirty region;
+- ``reweighted_eids`` — old ids of reweighted (surviving) edges, which is
+  all the overlay patcher needs for the weight-only fast path.
+
+Vertex ids are append-only: a :class:`VertexAdd` receives id ``n``, ``n+1``
+… in batch order, and no existing vertex ever changes id.  Edge ids are
+*not* stable — the rebuilt graph renumbers canonically — which is exactly
+why ``eid_map`` exists.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple, Union
+
+import numpy as np
+
+from ..graph.builder import build_graph
+from ..graph.graph import Graph
+
+__all__ = [
+    "EdgeReweight",
+    "EdgeAdd",
+    "EdgeRemove",
+    "VertexAdd",
+    "Delta",
+    "DeltaBatch",
+    "MutatedGraph",
+    "apply_delta_batch",
+    "synthetic_delta_batch",
+    "deltas_from_json",
+    "deltas_to_json",
+]
+
+
+@dataclass(frozen=True)
+class EdgeReweight:
+    """Change the weight of an existing edge ``{u, v}`` to ``weight``."""
+
+    u: int
+    v: int
+    weight: float
+
+
+@dataclass(frozen=True)
+class EdgeAdd:
+    """Insert a new edge ``{u, v}`` with ``weight`` (must not exist)."""
+
+    u: int
+    v: int
+    weight: float
+
+
+@dataclass(frozen=True)
+class EdgeRemove:
+    """Delete the existing edge ``{u, v}``."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class VertexAdd:
+    """Append a new vertex (id ``n + position-in-batch``) with ``edges``.
+
+    ``edges`` connect the new vertex to *pre-existing* vertices (or to
+    vertices added earlier in the same batch).  A vertex with no edges
+    forms its own connected component — and its own cell.
+    """
+
+    size: int = 1
+    edges: Tuple[Tuple[int, float], ...] = ()
+
+
+Delta = Union[EdgeReweight, EdgeAdd, EdgeRemove, VertexAdd]
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """One atomic batch of graph edits, applied together."""
+
+    deltas: Tuple[Delta, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    @property
+    def weight_only(self) -> bool:
+        """True iff the batch never changes the graph's structure."""
+        return all(isinstance(d, EdgeReweight) for d in self.deltas)
+
+    @property
+    def num_vertex_adds(self) -> int:
+        """Number of vertices the batch appends."""
+        return sum(1 for d in self.deltas if isinstance(d, VertexAdd))
+
+
+@dataclass
+class MutatedGraph:
+    """Result of materializing a :class:`DeltaBatch` against a graph.
+
+    ``eid_map[e_old]`` is the new id of surviving edge ``e_old`` (``-1``
+    when removed); ``touched_vertices`` are pre-existing vertices incident
+    to any edit; ``new_vertices`` are the appended vertex ids in the new
+    graph; ``reweighted_eids`` are *old* ids of reweighted edges.
+    """
+
+    graph: Graph
+    eid_map: np.ndarray
+    touched_vertices: np.ndarray
+    new_vertices: np.ndarray
+    reweighted_eids: np.ndarray
+    structural: bool
+    weights_changed: bool = field(default=True)
+    # total weight of batch-added edges: an upper bound on the unavoidable
+    # cut-cost increase, used by the repair quality guard
+    added_edge_weight: float = field(default=0.0)
+
+
+def _edge_lookup(g: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted canonical keys of ``g``'s edges plus the matching edge ids."""
+    keys = g.edge_u.astype(np.int64) * np.int64(max(g.n, 1)) + g.edge_v
+    order = np.argsort(keys, kind="stable")
+    return keys[order], order.astype(np.int64)
+
+
+def _find_edge(g: Graph, sorted_keys: np.ndarray, key_order: np.ndarray, u: int, v: int) -> int:
+    """Edge id of ``{u, v}`` in ``g``, or ``-1`` when absent."""
+    lo, hi = (u, v) if u < v else (v, u)
+    key = np.int64(lo) * np.int64(max(g.n, 1)) + np.int64(hi)
+    pos = int(np.searchsorted(sorted_keys, key))
+    if pos < len(sorted_keys) and sorted_keys[pos] == key:
+        return int(key_order[pos])
+    return -1
+
+
+def apply_delta_batch(g: Graph, batch: DeltaBatch) -> MutatedGraph:
+    """Materialize ``batch`` against ``g`` into a fresh graph + bookkeeping.
+
+    Raises ``ValueError`` on inconsistent edits: reweighting or removing a
+    non-existent edge, adding a duplicate edge, endpoints out of range,
+    non-positive weights, or self-loops.  The batch is validated in order,
+    so the error names the first offending delta.
+    """
+    if not len(batch):
+        raise ValueError("empty delta batch")
+    sorted_keys, key_order = _edge_lookup(g)
+
+    n2 = g.n
+    ewgt = g.ewgt.copy()
+    removed = np.zeros(g.m, dtype=bool)
+    add_u: List[int] = []
+    add_v: List[int] = []
+    add_w: List[float] = []
+    new_sizes: List[int] = []
+    touched: List[int] = []
+    reweighted: List[int] = []
+    # canonical (u, v) pairs edited in this batch, to reject duplicates
+    batch_edits: Dict[Tuple[int, int], str] = {}
+    structural = False
+
+    def _check_endpoint(x: int, limit: int, what: str) -> None:
+        if not (0 <= x < limit):
+            raise ValueError(f"{what}: vertex {x} out of range for n={limit}")
+
+    for i, d in enumerate(batch.deltas):
+        where = f"delta #{i}"
+        if isinstance(d, VertexAdd):
+            structural = True
+            if d.size <= 0:
+                raise ValueError(f"{where}: vertex size must be positive")
+            vid = n2
+            n2 += 1
+            new_sizes.append(int(d.size))
+            for u, w in d.edges:
+                _check_endpoint(int(u), vid, where)
+                if w <= 0:
+                    raise ValueError(f"{where}: edge weights must be positive")
+                add_u.append(int(u))
+                add_v.append(vid)
+                add_w.append(float(w))
+                if u < g.n:
+                    touched.append(int(u))
+            continue
+
+        u, v = int(d.u), int(d.v)
+        if u == v:
+            raise ValueError(f"{where}: self-loop {{{u}, {v}}} not allowed")
+        _check_endpoint(u, n2, where)
+        _check_endpoint(v, n2, where)
+        pair = (u, v) if u < v else (v, u)
+        if pair in batch_edits:
+            raise ValueError(
+                f"{where}: edge {pair} already edited ({batch_edits[pair]}) in this batch"
+            )
+        # edges touching batch-new vertices are only reachable via VertexAdd
+        eid = -1
+        if u < g.n and v < g.n:
+            eid = _find_edge(g, sorted_keys, key_order, u, v)
+
+        if isinstance(d, EdgeReweight):
+            if eid < 0:
+                raise ValueError(f"{where}: cannot reweight missing edge {pair}")
+            if d.weight <= 0:
+                raise ValueError(f"{where}: edge weights must be positive")
+            batch_edits[pair] = "reweight"
+            ewgt[eid] = float(d.weight)
+            reweighted.append(eid)
+            touched.append(u)
+            touched.append(v)
+        elif isinstance(d, EdgeRemove):
+            if eid < 0:
+                raise ValueError(f"{where}: cannot remove missing edge {pair}")
+            batch_edits[pair] = "remove"
+            structural = True
+            removed[eid] = True
+            touched.append(u)
+            touched.append(v)
+        elif isinstance(d, EdgeAdd):
+            if eid >= 0:
+                raise ValueError(f"{where}: edge {pair} already exists (use EdgeReweight)")
+            if d.weight <= 0:
+                raise ValueError(f"{where}: edge weights must be positive")
+            batch_edits[pair] = "add"
+            structural = True
+            add_u.append(u)
+            add_v.append(v)
+            add_w.append(float(d.weight))
+            if u < g.n:
+                touched.append(u)
+            if v < g.n:
+                touched.append(v)
+        else:  # pragma: no cover - exhaustive by Delta union
+            raise TypeError(f"{where}: unknown delta type {type(d).__name__}")
+
+    keep = ~removed
+    all_u = np.concatenate([g.edge_u[keep].astype(np.int64), np.asarray(add_u, dtype=np.int64)])
+    all_v = np.concatenate([g.edge_v[keep].astype(np.int64), np.asarray(add_v, dtype=np.int64)])
+    all_w = np.concatenate([ewgt[keep], np.asarray(add_w, dtype=np.float64)])
+    sizes = np.concatenate([g.vsize, np.asarray(new_sizes, dtype=np.int64)])
+    coords = g.coords if (g.coords is not None and n2 == g.n) else None
+    g2 = build_graph(n2, all_u, all_v, weights=all_w, sizes=sizes, coords=coords)
+
+    # old edge id -> new edge id (build_graph numbers edges by sorted
+    # canonical key, and the surviving edge set is simple, so the lookup
+    # is an exact searchsorted)
+    eid_map = np.full(g.m, -1, dtype=np.int64)
+    if g.m:
+        surviving = np.flatnonzero(keep)
+        old_keys = g.edge_u[surviving].astype(np.int64) * np.int64(n2) + g.edge_v[surviving]
+        new_keys = g2.edge_u.astype(np.int64) * np.int64(n2) + g2.edge_v
+        pos = np.searchsorted(new_keys, old_keys)
+        if len(surviving) and not np.array_equal(new_keys[pos], old_keys):
+            raise AssertionError("edge id remap failed: surviving edge missing from rebuild")
+        eid_map[surviving] = pos
+
+    return MutatedGraph(
+        graph=g2,
+        eid_map=eid_map,
+        touched_vertices=np.unique(np.asarray(touched, dtype=np.int64)),
+        new_vertices=np.arange(g.n, n2, dtype=np.int64),
+        reweighted_eids=np.asarray(sorted(set(reweighted)), dtype=np.int64),
+        structural=structural,
+        weights_changed=bool(reweighted) or structural,
+        added_edge_weight=float(sum(add_w)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Synthetic batches (benchmarks, CLI demos, property tests)
+# ---------------------------------------------------------------------------
+
+
+def _local_edge_cluster(g: Graph, center: int, count: int) -> List[int]:
+    """Up to ``count`` edge ids collected by BFS outward from ``center``.
+
+    Models a realistic, spatially clustered update (a closed road segment,
+    a congested neighborhood) rather than uniformly random edits.
+    """
+    seen_v = {int(center)}
+    seen_e: List[int] = []
+    seen_e_set: Set[int] = set()
+    frontier = [int(center)]
+    while frontier and len(seen_e) < count:
+        nxt: List[int] = []
+        for v in frontier:
+            lo, hi = int(g.xadj[v]), int(g.xadj[v + 1])
+            for idx in range(lo, hi):
+                e = int(g.eid[idx])
+                if e not in seen_e_set:
+                    seen_e_set.add(e)
+                    seen_e.append(e)
+                    if len(seen_e) >= count:
+                        return seen_e
+                u = int(g.adjncy[idx])
+                if u not in seen_v:
+                    seen_v.add(u)
+                    nxt.append(u)
+        frontier = nxt
+    return seen_e
+
+
+def synthetic_delta_batch(
+    g: Graph,
+    kind: str = "reweight",
+    count: int = 10,
+    seed: int = 0,
+    clusters: int = 1,
+) -> DeltaBatch:
+    """A seeded, locally clustered delta batch for benchmarks and demos.
+
+    ``kind`` is ``"reweight"`` (scale clustered edge weights), ``"mixed"``
+    (remove some clustered edges — keeping the graph connected is *not*
+    guaranteed — add shortcut edges nearby, and append one new vertex), or
+    ``"grow"`` (vertex additions only).  Deterministic in ``seed``.
+    """
+    if g.m == 0:
+        raise ValueError("cannot build a delta batch on an edgeless graph")
+    rng = np.random.default_rng(seed)
+    per_cluster = max(1, count // max(1, clusters))
+    eids: List[int] = []
+    for _ in range(max(1, clusters)):
+        center = int(rng.integers(0, g.n))
+        for e in _local_edge_cluster(g, center, per_cluster):
+            if e not in eids:
+                eids.append(e)
+        if len(eids) >= count:
+            break
+    eids = eids[:count]
+
+    deltas: List[Delta] = []
+    if kind == "reweight":
+        factors = rng.integers(2, 6, size=len(eids))
+        for e, f in zip(eids, factors.tolist()):
+            u, v = g.edge_endpoints(e)
+            deltas.append(EdgeReweight(u, v, float(g.ewgt[e]) * float(f)))
+    elif kind == "mixed":
+        third = max(1, len(eids) // 3)
+        removable = eids[:third]
+        reweight = eids[third : 2 * third]
+        shortcut_src = eids[2 * third :] or eids[:1]
+        for e in removable:
+            u, v = g.edge_endpoints(e)
+            deltas.append(EdgeRemove(u, v))
+        for e in reweight:
+            u, v = g.edge_endpoints(e)
+            deltas.append(EdgeReweight(u, v, float(g.ewgt[e]) * 2.0))
+        edited = {tuple(sorted(g.edge_endpoints(e))) for e in removable + reweight}
+        skeys, korder = _edge_lookup(g)
+        for e in shortcut_src:
+            u, v = g.edge_endpoints(e)
+            # shortcut between u and a vertex two hops out, if novel
+            for cand in g.neighbors(v).tolist():
+                pair = (u, cand) if u < cand else (cand, u)
+                if cand != u and pair not in edited and _find_edge(g, skeys, korder, u, cand) < 0:
+                    edited.add(pair)
+                    deltas.append(EdgeAdd(u, cand, float(g.ewgt[e]) + 1.0))
+                    break
+        anchor_e = eids[0]
+        au, av = g.edge_endpoints(anchor_e)
+        deltas.append(VertexAdd(size=1, edges=((au, 1.0), (av, 2.0))))
+    elif kind == "grow":
+        for e in eids:
+            u, v = g.edge_endpoints(e)
+            deltas.append(VertexAdd(size=1, edges=((u, 1.0), (v, 1.0))))
+    else:
+        raise ValueError(f"unknown synthetic batch kind {kind!r}")
+    return DeltaBatch(tuple(deltas))
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip (CLI)
+# ---------------------------------------------------------------------------
+
+
+def deltas_to_json(batch: DeltaBatch) -> str:
+    """Serialize a batch as a JSON array of op records."""
+    out: List[dict] = []
+    for d in batch.deltas:
+        if isinstance(d, EdgeReweight):
+            out.append({"op": "reweight", "u": d.u, "v": d.v, "w": d.weight})
+        elif isinstance(d, EdgeAdd):
+            out.append({"op": "add", "u": d.u, "v": d.v, "w": d.weight})
+        elif isinstance(d, EdgeRemove):
+            out.append({"op": "remove", "u": d.u, "v": d.v})
+        elif isinstance(d, VertexAdd):
+            out.append(
+                {"op": "add_vertex", "size": d.size, "edges": [[u, w] for u, w in d.edges]}
+            )
+    return json.dumps(out, indent=2)
+
+
+def deltas_from_json(text: str) -> DeltaBatch:
+    """Parse a JSON array of op records into a :class:`DeltaBatch`."""
+    raw = json.loads(text)
+    if not isinstance(raw, list):
+        raise ValueError("delta JSON must be an array of op records")
+    deltas: List[Delta] = []
+
+    def _weight(i: int, rec: dict) -> float:
+        w = rec.get("w", rec.get("weight"))
+        if w is None:
+            raise ValueError(f"record #{i}: missing 'w' (edge weight)")
+        return float(w)
+
+    for i, rec in enumerate(raw):
+        op = rec.get("op")
+        if op == "reweight":
+            deltas.append(EdgeReweight(int(rec["u"]), int(rec["v"]), _weight(i, rec)))
+        elif op == "add":
+            deltas.append(EdgeAdd(int(rec["u"]), int(rec["v"]), _weight(i, rec)))
+        elif op == "remove":
+            deltas.append(EdgeRemove(int(rec["u"]), int(rec["v"])))
+        elif op == "add_vertex":
+            edges = tuple((int(u), float(w)) for u, w in rec.get("edges", []))
+            deltas.append(VertexAdd(size=int(rec.get("size", 1)), edges=edges))
+        else:
+            raise ValueError(f"record #{i}: unknown op {op!r}")
+    return DeltaBatch(tuple(deltas))

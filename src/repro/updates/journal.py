@@ -1,0 +1,171 @@
+"""Dirty-region tracking and update telemetry.
+
+:func:`compute_dirty_region` maps a materialized delta batch to the set of
+partition cells whose structure (or metric) it touches, expanded by a
+bounded BFS *halo* over the cell-adjacency graph.  The halo gives the
+localized repair room to move boundaries between a touched cell and its
+neighbors — the same localization argument the CCH line of work makes for
+metric/topology updates (PAPERS.md) — while keeping the repaired region a
+small fraction of the graph.
+
+:class:`DirtyRegionJournal` records one entry per applied batch (latency,
+dirty-cell count, cut-cache reuse, fallbacks) and aggregates them into the
+``run_report()["updates"]`` section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..core.partition import Partition
+from .deltas import MutatedGraph
+
+__all__ = ["DirtyRegion", "UpdateRecord", "DirtyRegionJournal", "compute_dirty_region"]
+
+
+@dataclass(frozen=True)
+class DirtyRegion:
+    """Cells and vertices a delta batch invalidates.
+
+    ``cells`` are *old* partition cell ids (ascending); ``vertices`` are
+    their members plus any batch-appended vertices, in ascending new-graph
+    ids.  ``seed_cells`` is the pre-halo touched set (for telemetry).
+    """
+
+    cells: np.ndarray
+    seed_cells: np.ndarray
+    vertices: np.ndarray
+    halo: int
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+
+def _cell_adjacency(partition: Partition) -> Dict[int, List[int]]:
+    """Sorted neighbor-cell lists from the partition's cut edges."""
+    g = partition.graph
+    labels = partition.labels
+    cut = partition.cut_edges
+    cu = labels[g.edge_u[cut]]
+    cv = labels[g.edge_v[cut]]
+    adj: Dict[int, Set[int]] = {}
+    for a, b in zip(cu.tolist(), cv.tolist()):
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+    return {c: sorted(s) for c, s in adj.items()}
+
+
+def compute_dirty_region(
+    partition: Partition, mutated: MutatedGraph, halo: int = 1
+) -> DirtyRegion:
+    """Touched cells of ``mutated``'s edits, plus a ``halo``-hop BFS ring.
+
+    The seed set is the cells of every touched pre-existing vertex; the
+    halo expands it ``halo`` hops through the cell-adjacency graph.  The
+    dirty vertex set is every member of a dirty cell plus the batch's new
+    vertices (which have no cell yet).
+    """
+    if halo < 0:
+        raise ValueError("halo must be >= 0")
+    labels = partition.labels
+    touched = mutated.touched_vertices
+    seed = np.unique(labels[touched]) if len(touched) else np.empty(0, dtype=np.int64)
+
+    dirty = set(seed.tolist())
+    if halo and dirty:
+        adj = _cell_adjacency(partition)
+        frontier = sorted(dirty)
+        for _ in range(halo):
+            nxt: List[int] = []
+            for c in frontier:
+                for nb in adj.get(c, ()):
+                    if nb not in dirty:
+                        dirty.add(nb)
+                        nxt.append(nb)
+            if not nxt:
+                break
+            frontier = sorted(nxt)
+
+    cells = np.asarray(sorted(dirty), dtype=np.int64)
+    member_chunks = [partition.members_of(int(c)) for c in cells.tolist()]
+    member_chunks.append(mutated.new_vertices)
+    vertices = np.unique(np.concatenate(member_chunks)) if member_chunks else np.empty(
+        0, dtype=np.int64
+    )
+    return DirtyRegion(cells=cells, seed_cells=seed, vertices=vertices.astype(np.int64), halo=halo)
+
+
+@dataclass
+class UpdateRecord:
+    """Telemetry of one applied delta batch."""
+
+    seq: int
+    kind: str  # "weight" | "structural"
+    mode: str  # "patched" | "rebuilt"
+    num_deltas: int
+    dirty_cells: int
+    seed_cells: int
+    dirty_vertices: int
+    dirty_fraction: float
+    latency_s: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fallback: bool = False
+    fallback_reason: str = ""
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+
+    @property
+    def cache_reuse_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return (self.cache_hits / total) if total else 0.0
+
+
+@dataclass
+class DirtyRegionJournal:
+    """Append-only log of applied updates with an aggregated report."""
+
+    records: List[UpdateRecord] = field(default_factory=list)
+
+    def append(self, record: UpdateRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def last(self) -> Optional[UpdateRecord]:
+        return self.records[-1] if self.records else None
+
+    def report(self) -> dict:
+        """The ``run_report()["updates"]`` section.
+
+        Aggregates update latency, dirty-cell counts, cut-cache reuse, and
+        fallback counts across every applied batch.
+        """
+        recs = self.records
+        n = len(recs)
+        if not n:
+            return {"updates": 0}
+        lat = sorted(r.latency_s for r in recs)
+        hits = sum(r.cache_hits for r in recs)
+        misses = sum(r.cache_misses for r in recs)
+        return {
+            "updates": n,
+            "weight_updates": sum(1 for r in recs if r.kind == "weight"),
+            "structural_updates": sum(1 for r in recs if r.kind == "structural"),
+            "fallbacks": sum(1 for r in recs if r.fallback),
+            "dirty_cells_total": sum(r.dirty_cells for r in recs),
+            "dirty_cells_mean": sum(r.dirty_cells for r in recs) / n,
+            "dirty_fraction_mean": sum(r.dirty_fraction for r in recs) / n,
+            "latency_s_total": sum(lat),
+            "latency_s_median": lat[n // 2] if n % 2 else 0.5 * (lat[n // 2 - 1] + lat[n // 2]),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_reuse_rate": (hits / (hits + misses)) if (hits + misses) else 0.0,
+            "last": asdict(recs[-1]),
+        }

@@ -1,0 +1,164 @@
+"""Property suite: incremental updates are equivalent to full recomputation.
+
+Fifty seeded random instances.  On each:
+
+- a **weight-only** delta batch must leave the partition untouched and
+  produce a patched overlay *bit-identical* to a from-scratch
+  ``customize_overlay`` on the new metric (same rows, same order, same
+  float bits);
+- a **structural** delta batch must produce a repaired partition passing
+  every sanitizer invariant, a patched overlay bit-identical to
+  ``build_overlay`` of that partition, and served query answers *exactly*
+  equal to a fresh whole-graph Dijkstra on the mutated graph.
+
+Integer-valued float weights keep float addition associative over every
+path sum (see ``test_property_serving.py``), which is what makes exact
+comparison across different search orders a sound property rather than an
+ulp lottery.  Synthetic delta batches preserve integrality (reweights are
+integer multiples, added edges have integer weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PunchConfig
+from repro.core.punch import run_punch
+from repro.crp.dijkstra import dijkstra
+from repro.crp.overlay import (
+    build_overlay,
+    customize_overlay,
+    patch_overlay,
+    patch_overlay_weights,
+)
+from repro.graph import build_graph
+from repro.lint.sanitizer import get_sanitizer
+from repro.serve import ServingEngine
+from repro.updates import IncrementalUpdater, UpdateConfig, synthetic_delta_batch
+
+N_INSTANCES = 50
+QUERIES_PER_INSTANCE = 5
+
+
+def _instance(seed: int):
+    """Random connected graph with integer-valued float weights."""
+    rng = np.random.default_rng(9000 + seed)
+    n = int(rng.integers(40, 110))
+    extra = int(rng.integers(10, 70))
+    u = [int(rng.integers(0, i)) for i in range(1, n)]
+    v = list(range(1, n))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            u.append(int(a))
+            v.append(int(b))
+    w = rng.integers(1, 100, size=len(u)).astype(np.float64)
+    g = build_graph(n, np.asarray(u), np.asarray(v), weights=w)
+    U = int(rng.integers(8, max(9, n // 3)))
+    return g, U, rng
+
+
+def _assert_overlay_bitwise_equal(a, b):
+    assert a.clique_edges == b.clique_edges
+    assert a.cut_edges == b.cut_edges
+    assert a.boundary_of_cell == b.boundary_of_cell
+    assert list(a.adj.keys()) == list(b.adj.keys())
+    for vtx in a.adj:
+        ra, rb = a.adj[vtx], b.adj[vtx]
+        assert len(ra) == len(rb)
+        for (t1, w1), (t2, w2) in zip(ra, rb):
+            assert t1 == t2
+            # exact bits, not just ==: -0.0 vs 0.0 would slip through ==
+            assert np.float64(w1).tobytes() == np.float64(w2).tobytes()
+
+
+@pytest.mark.parametrize("seed", range(N_INSTANCES))
+def test_weight_delta_patch_is_bit_identical(seed):
+    g, U, _ = _instance(seed)
+    res = run_punch(g, U, PunchConfig(seed=seed))
+    overlay = build_overlay(res.partition)
+    upd = IncrementalUpdater(res.partition, U, punch_config=PunchConfig(seed=seed))
+
+    batch = synthetic_delta_batch(g, kind="reweight", count=5 + seed % 7, seed=seed)
+    r = upd.apply(batch)
+    assert not r.structural and r.mode == "patched"
+    assert np.array_equal(r.partition.labels, res.partition.labels)
+
+    patched = patch_overlay_weights(overlay, r.graph.ewgt, r.dirty_cells)
+    full = customize_overlay(overlay, r.graph.ewgt)
+    _assert_overlay_bitwise_equal(patched, full)
+
+
+@pytest.mark.parametrize("seed", range(N_INSTANCES))
+def test_structural_delta_repair_is_query_exact(seed):
+    g, U, rng = _instance(seed)
+    res = run_punch(g, U, PunchConfig(seed=seed))
+    overlay = build_overlay(res.partition)
+    upd = IncrementalUpdater(
+        res.partition,
+        U,
+        config=UpdateConfig(max_dirty_fraction=1.0),
+        punch_config=PunchConfig(seed=seed),
+    )
+
+    kind = "mixed" if seed % 2 == 0 else "grow"
+    batch = synthetic_delta_batch(g, kind=kind, count=4 + seed % 5, seed=seed)
+    r = upd.apply(batch)
+    assert r.structural
+    g2 = r.graph
+
+    # sanitizer invariants on the repaired partition (size bound, cost
+    # accounting, connectivity) — run explicitly, independent of --sanitize
+    san = get_sanitizer()
+    was_enabled = san.enabled
+    san.enabled = True
+    try:
+        san.check_partition("property.updates", g2, r.partition.labels, U=U)
+        assert not san.violations
+    finally:
+        san.enabled = was_enabled
+
+    # patched overlay bit-identical to a from-scratch build
+    patched = patch_overlay(overlay, r.partition, r.reusable, r.eid_map)
+    _assert_overlay_bitwise_equal(patched, build_overlay(r.partition))
+
+    # served answers exactly equal a fresh whole-graph Dijkstra
+    eng = ServingEngine(patched)
+    for _ in range(QUERIES_PER_INSTANCE):
+        s, t = int(rng.integers(0, g2.n)), int(rng.integers(0, g2.n))
+        ref, _ = dijkstra(g2, s, targets=[t])
+        expected = ref.get(t, float("inf"))
+        d, _ = eng.query(s, t)
+        if np.isinf(expected):
+            assert np.isinf(d)
+        else:
+            assert d == expected
+
+
+@pytest.mark.parametrize("seed", range(0, N_INSTANCES, 5))
+def test_chained_updates_stay_equivalent(seed):
+    """A weight batch then a structural batch through the live serving
+    engine: after both, every served answer equals fresh Dijkstra."""
+    g, U, rng = _instance(seed)
+    res = run_punch(g, U, PunchConfig(seed=seed))
+    eng = ServingEngine.from_partition(res.partition)
+    eng.enable_updates(
+        U,
+        update_config=UpdateConfig(max_dirty_fraction=1.0),
+        punch_config=PunchConfig(seed=seed),
+    )
+    eng.apply_update(synthetic_delta_batch(g, kind="reweight", count=4, seed=seed))
+    eng.apply_update(
+        synthetic_delta_batch(eng._graph, kind="grow", count=3, seed=seed + 1)
+    )
+    g2 = eng._graph
+    for _ in range(QUERIES_PER_INSTANCE):
+        s, t = int(rng.integers(0, g2.n)), int(rng.integers(0, g2.n))
+        ref, _ = dijkstra(g2, s, targets=[t])
+        expected = ref.get(t, float("inf"))
+        d, _ = eng.query(s, t)
+        if np.isinf(expected):
+            assert np.isinf(d)
+        else:
+            assert d == expected
