@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Cut-engine benchmark: FlowCutter vs push-relabel, plus the identity gate.
+
+Standalone script (not a pytest bench):
+
+    python benchmarks/bench_cutengine.py            # full instance set
+    REPRO_BENCH_QUICK=1 python benchmarks/bench_cutengine.py   # CI smoke
+
+Measures, per instance:
+
+- **cut-quality ratio** — end-to-end partition cost with
+  ``cut_engine="flowcutter"`` divided by the push-relabel cost, plus the
+  per-subproblem ratio of the selected FlowCutter cut value to the exact
+  min cut on a shared subproblem pool;
+- **filtering-time ratio** — natural-cut detection wall time under each
+  engine.
+
+Hard gates (non-zero exit on failure — the CI ``cutengine-smoke`` job):
+
+1. the default engine produces partitions **bit-identical** to the
+   pre-refactor pipeline, pinned as blake2b digests of the label arrays
+   captured on main before the CutEngine refactor landed;
+2. an explicitly selected ``push_relabel`` engine and a cache-disabled run
+   produce the same labels as the default config (engine selection and
+   caching change speed only, never partitions).
+
+Results land in ``BENCH_cutengine.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import PunchConfig, run_punch  # noqa: E402
+from repro.core.config import FilterConfig  # noqa: E402
+from repro.cutengine import get_engine  # noqa: E402
+from repro.filtering.natural_cuts import (  # noqa: E402
+    collect_cut_problems,
+    detect_natural_cuts,
+)
+from repro.synthetic import road_network  # noqa: E402
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK", ""))
+OUT_PATH = REPO_ROOT / "BENCH_cutengine.json"
+
+#: pre-refactor partition digests captured on main (blake2b-16 of the
+#: int64 label array) — the bit-identity gate for the default engine
+IDENTITY_ANCHORS = [
+    # (instance name, graph kwargs, U, seed, digest, cost)
+    (
+        "road800",
+        dict(n_target=800, seed=3),
+        96,
+        0,
+        "6c136d06d35b8f15ca55750f303d9521",
+        30.0,
+    ),
+    (
+        "road800",
+        dict(n_target=800, seed=3),
+        96,
+        7,
+        "2afbdd68a2d9be27913de01efd09c591",
+        29.0,
+    ),
+    (
+        "road1200",
+        dict(n_target=1200, n_cities=7, seed=42),
+        128,
+        0,
+        "131aec4cd298cd94a59806c3419a12b5",
+        47.0,
+    ),
+    (
+        "road1200",
+        dict(n_target=1200, n_cities=7, seed=42),
+        128,
+        7,
+        "e7230b0aaa0fcbbc66ade989db8182f5",
+        45.0,
+    ),
+]
+
+#: instances for the quality/time comparison
+COMPARE_INSTANCES = [
+    ("road800", dict(n_target=800, seed=3), 96, 0),
+    ("road1200", dict(n_target=1200, n_cities=7, seed=42), 128, 0),
+]
+if QUICK:
+    IDENTITY_ANCHORS = IDENTITY_ANCHORS[:2]
+    COMPARE_INSTANCES = COMPARE_INSTANCES[:1]
+
+
+def _digest(labels) -> str:
+    data = np.ascontiguousarray(np.asarray(labels, dtype=np.int64)).tobytes()
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def gate_default_engine_bit_identical() -> tuple[list, bool]:
+    """Gate 1+2: default ≡ pre-refactor ≡ explicit engine ≡ no cache."""
+    rows, ok = [], True
+    for name, gargs, U, seed, want, want_cost in IDENTITY_ANCHORS:
+        g = road_network(**gargs)
+        res = run_punch(g, U, PunchConfig(seed=seed))
+        got = _digest(res.partition.labels)
+        row = {
+            "instance": name,
+            "U": U,
+            "seed": seed,
+            "expected_digest": want,
+            "digest": got,
+            "cost": res.cost,
+            "bit_identical": got == want and res.cost == want_cost,
+        }
+        # engine selection and caching must be behaviorally invisible
+        for label, filt in (
+            ("explicit_engine", FilterConfig(cut_engine="push_relabel")),
+            ("cache_disabled", FilterConfig(use_cut_cache=False)),
+        ):
+            alt = run_punch(g, U, PunchConfig(filter=filt, seed=seed))
+            row[f"{label}_identical"] = _digest(alt.partition.labels) == got
+        ok = ok and row["bit_identical"]
+        ok = ok and row["explicit_engine_identical"] and row["cache_disabled_identical"]
+        status = "OK" if row["bit_identical"] else "MISMATCH"
+        print(
+            f"  {name} U={U} seed={seed}: {got} {status}"
+            f"  explicit={row['explicit_engine_identical']}"
+            f"  nocache={row['cache_disabled_identical']}"
+        )
+        rows.append(row)
+    return rows, ok
+
+
+def bench_subproblem_quality() -> dict:
+    """Selected FlowCutter cut value vs the exact min cut, per subproblem."""
+    g = road_network(n_target=600, seed=1)
+    probs = collect_cut_problems(g, 64, 1.0, 10.0, np.random.default_rng(0))
+    if QUICK:
+        probs = probs[:40]
+    pr = get_engine("push_relabel")
+    fc = get_engine("flowcutter")
+    ratios, front_sizes = [], []
+    for prob in probs:
+        min_value, _ = pr.solve(prob)
+        front = fc.enumerate_front(prob)
+        value, _ = fc.solve(prob)
+        ratios.append(value / max(min_value, 1e-12))
+        front_sizes.append(len(front))
+    out = {
+        "subproblems": len(probs),
+        "selected_over_mincut_mean": float(np.mean(ratios)),
+        "selected_over_mincut_max": float(np.max(ratios)),
+        "front_size_mean": float(np.mean(front_sizes)),
+        "front_size_max": int(np.max(front_sizes)),
+    }
+    print(
+        f"  {len(probs)} subproblems: selected/min-cut mean "
+        f"{out['selected_over_mincut_mean']:.3f} (max "
+        f"{out['selected_over_mincut_max']:.3f}), front size mean "
+        f"{out['front_size_mean']:.1f}"
+    )
+    return out
+
+
+def bench_end_to_end() -> list:
+    """Partition cost and filtering time, per engine, per instance."""
+    rows = []
+    for name, gargs, U, seed in COMPARE_INSTANCES:
+        g = road_network(**gargs)
+        row: dict = {"instance": name, "U": U, "seed": seed}
+        for engine in ("push_relabel", "flowcutter"):
+            cfg = PunchConfig(filter=FilterConfig(cut_engine=engine), seed=seed)
+            t0 = time.perf_counter()
+            res = run_punch(g, U, cfg)
+            wall = time.perf_counter() - t0
+            # isolate the engine-sensitive stage: one detection sweep
+            t0 = time.perf_counter()
+            detect_natural_cuts(g, U, C=1, rng=np.random.default_rng(seed), engine=engine)
+            row[engine] = {
+                "cost": res.cost,
+                "cells": res.num_cells,
+                "total_s": wall,
+                "natural_cuts_s": time.perf_counter() - t0,
+            }
+        pr, fc = row["push_relabel"], row["flowcutter"]
+        row["cut_quality_ratio"] = fc["cost"] / max(pr["cost"], 1e-12)
+        row["filtering_time_ratio"] = fc["natural_cuts_s"] / max(
+            pr["natural_cuts_s"], 1e-12
+        )
+        print(
+            f"  {name} U={U}: cost pr {pr['cost']:g} vs fc {fc['cost']:g} "
+            f"(ratio {row['cut_quality_ratio']:.3f}); natural-cut time ratio "
+            f"{row['filtering_time_ratio']:.2f}x"
+        )
+        rows.append(row)
+    return rows
+
+
+def main() -> int:
+    report: dict = {"quick": QUICK}
+
+    print("identity gate (default engine vs pre-refactor digests):")
+    anchors, ok = gate_default_engine_bit_identical()
+    report["identity_gate"] = {"anchors": anchors, "passed": ok}
+
+    print("subproblem cut quality (flowcutter vs exact min cut):")
+    report["subproblem_quality"] = bench_subproblem_quality()
+
+    print("end-to-end engine comparison:")
+    report["end_to_end"] = bench_end_to_end()
+
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    if not ok:
+        print("IDENTITY GATE FAILED: default engine is not bit-identical", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,8 +100,9 @@ class PunchResult:
             f"{self.time_assembly:.1f}s"
         )
         incidents = self.run_report()
-        # the cut-cache, worker-pool, supervisor, and sanitizer sections are
-        # informational
+        # the filtering, cut-cache, worker-pool, supervisor, and sanitizer
+        # sections are informational
+        incidents.pop("filtering", None)
         incidents.pop("cut_cache", None)
         incidents.pop("parallel", None)
         incidents.pop("supervisor", None)
@@ -171,6 +172,7 @@ class BalancedResult:
             f"(U*={self.U_star}), time={self.time_total:.1f}s"
         )
         incidents = self.run_report()
+        incidents.pop("filtering", None)
         incidents.pop("cut_cache", None)
         incidents.pop("parallel", None)
         incidents.pop("supervisor", None)

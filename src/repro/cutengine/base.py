@@ -1,0 +1,103 @@
+"""The :class:`CutEngine` interface (ROADMAP item 5).
+
+Natural-cut detection solves one contracted s-t cut instance per core/ring
+subproblem (``filtering/cut_problem.py``).  Historically that solve was
+hard-wired to a single push-relabel min cut; a :class:`CutEngine`
+abstracts *how the separating cut is chosen* so that alternative
+strategies — e.g. FlowCutter-style Pareto enumeration
+(:class:`~repro.cutengine.flowcutter.FlowCutterEngine`) — can plug in
+without touching the sweep, the executors, or the fragment extraction.
+
+The contract every engine must honor:
+
+- :meth:`CutEngine.solve` returns ``(cut_value, source_side_mask)`` over
+  the problem's *local* vertices, with local vertex ``0`` (the contracted
+  core) on the source side and local vertex ``1`` (the contracted ring) on
+  the sink side.  The mask must describe a valid s-t cut of the merged
+  flow network, and ``cut_value`` must equal the total capacity crossing
+  it — downstream code recovers the original cut edges via
+  :meth:`~repro.filtering.cut_problem.CutProblem.cut_edges_of_side` and
+  only ever unions them, so any valid separating cut is safe.
+- Solves are **pure functions of the problem**: no RNG, no wall clock, no
+  global state.  This is what keeps the serial ≡ threads ≡ processes
+  bit-identical contract intact for every engine (the conformance suite in
+  ``tests/test_cutengine_conformance.py`` pins it per registered engine).
+- :meth:`CutEngine.cache_key` salts the problem's network fingerprint with
+  :meth:`CutEngine.cache_token` (engine identity + parameters).  Two
+  engines may legally return *different* cuts for the same network, so a
+  :class:`~repro.perf.cut_cache.CutCache` entry written by one engine must
+  never be served to another — per-engine keying makes cross-engine hits
+  impossible by construction.
+- :meth:`CutEngine.solve_chain` exposes the resilience fallback chain
+  (primary solve first, then independent fallbacks); filtering walks it
+  exactly like the historical per-solver chain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, ClassVar, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..filtering.cut_problem import CutProblem
+
+__all__ = ["CutEngine", "SolveFn", "SOLVER_FALLBACKS"]
+
+#: one attempt at solving a cut problem: ``problem -> (value, source_side)``
+SolveFn = Callable[["CutProblem"], Tuple[float, np.ndarray]]
+
+#: fallback order when a flow solver raises: the paper's push-relabel drops
+#: to the BFS-based reference solvers, which are slower but independent code
+#: (historically lived in ``filtering/natural_cuts.py``, which re-exports it)
+SOLVER_FALLBACKS = {
+    "push_relabel": ("dinic", "edmonds_karp"),
+    "scipy": ("push_relabel", "dinic"),
+    "dinic": ("edmonds_karp",),
+    "edmonds_karp": ("dinic",),
+}
+
+
+class CutEngine(ABC):
+    """Strategy for choosing the separating cut of one contracted instance."""
+
+    #: registry identifier; also the default cache-token payload
+    name: ClassVar[str] = ""
+
+    def cache_token(self) -> bytes:
+        """Engine identity (+ parameters) salted into every cache key.
+
+        Engines whose cuts depend on tunable parameters must fold them in
+        here, so differently-configured instances never share entries.
+        """
+        return self.name.encode("ascii")
+
+    def cache_key(self, problem: "CutProblem", solver: str = "push_relabel") -> bytes:
+        """Per-engine :class:`~repro.perf.cut_cache.CutCache` key.
+
+        The network fingerprint alone is *not* a safe key across engines:
+        equal fingerprints imply equal min-cut values, but engines are free
+        to return different (still valid) cuts for the same network.  The
+        configured flow ``solver`` is folded in too — different backends
+        may return different minimum cuts of equal value, and a long-lived
+        injected cache must not serve one backend's side mask to another.
+        """
+        return b"\x00".join(
+            (problem.fingerprint(), self.cache_token(), solver.encode("ascii"))
+        )
+
+    @abstractmethod
+    def solve(self, problem: "CutProblem") -> Tuple[float, np.ndarray]:
+        """Return ``(cut_value, source_side_mask)`` for one instance."""
+
+    @abstractmethod
+    def solve_chain(self, solver: str) -> Sequence[SolveFn]:
+        """Ordered solve attempts: the primary first, then fallbacks.
+
+        ``solver`` is the configured flow backend
+        (``FilterConfig.flow_solver``); engines that do not use the flow
+        solvers directly still append the push-relabel chain as a safety
+        net, so a crashing engine degrades to the paper's min cut instead
+        of dropping the subproblem.
+        """

@@ -1,0 +1,53 @@
+"""The default engine: the paper's single min s-t cut per subproblem.
+
+:class:`PushRelabelEngine` is a thin adapter from the historical solve path
+(:func:`~repro.filtering.cut_problem.solve_cut_problem_sides` over the
+configured flow backend) to the :class:`~repro.cutengine.base.CutEngine`
+interface.  It is **bit-identical to the pre-refactor behavior** by
+construction: the same function is called with the same arguments in the
+same fallback order, and the benchmark gate
+(``benchmarks/bench_cutengine.py``) pins whole-partition digests against
+the pre-refactor anchors to keep it that way.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from .base import SOLVER_FALLBACKS, CutEngine, SolveFn
+from .registry import register_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..filtering.cut_problem import CutProblem
+
+__all__ = ["PushRelabelEngine"]
+
+
+@register_engine
+class PushRelabelEngine(CutEngine):
+    """One minimum s-t cut per subproblem (paper Section 2 behavior)."""
+
+    name = "push_relabel"
+
+    def __init__(self, solver: str = "push_relabel") -> None:
+        self.solver = solver
+
+    def solve(self, problem: "CutProblem") -> Tuple[float, np.ndarray]:
+        # local import: filtering imports this package at module load
+        from ..filtering.cut_problem import solve_cut_problem_sides
+
+        return solve_cut_problem_sides(problem, self.solver)
+
+    def solve_chain(self, solver: str) -> List[SolveFn]:
+        from ..filtering.cut_problem import solve_cut_problem_sides
+
+        chain = (solver,) + tuple(
+            s for s in SOLVER_FALLBACKS.get(solver, ()) if s != solver
+        )
+        return [
+            functools.partial(solve_cut_problem_sides, solver=candidate)
+            for candidate in chain
+        ]

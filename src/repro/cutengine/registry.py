@@ -1,0 +1,50 @@
+"""Engine registry: name -> :class:`~repro.cutengine.base.CutEngine`.
+
+Engines self-register at import time via :func:`register_engine` (the
+package ``__init__`` imports every built-in engine module, so importing
+``repro.cutengine`` is enough to populate the registry).  The conformance
+suite parametrizes over :func:`available_engines`, which is what makes a
+future engine pick up the whole test harness automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .base import CutEngine
+
+__all__ = ["register_engine", "get_engine", "available_engines"]
+
+_REGISTRY: Dict[str, Type[CutEngine]] = {}
+#: default-parameter singletons; engines are stateless between solves
+_INSTANCES: Dict[str, CutEngine] = {}
+
+
+def register_engine(cls: Type[CutEngine]) -> Type[CutEngine]:
+    """Register an engine class under ``cls.name`` (usable as a decorator)."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty 'name'")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"engine name {cls.name!r} already registered by {existing.__name__}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted (the conformance-suite axis)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine(name: str) -> CutEngine:
+    """The default-parameter singleton for a registered engine name."""
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise ValueError(
+                f"unknown cut engine {name!r}; choose from {available_engines()}"
+            )
+        inst = cls()
+        _INSTANCES[name] = inst
+    return inst

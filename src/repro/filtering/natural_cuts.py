@@ -39,6 +39,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.config import RuntimeConfig
+from ..cutengine import SOLVER_FALLBACKS, get_engine
 from ..graph.graph import Graph
 from ..graph.traversal import BFSWorkspace, grow_bfs_region
 from ..lint.sanitizer import get_sanitizer
@@ -47,24 +48,15 @@ from ..perf.timers import profile_span
 from ..runtime.budget import RunBudget
 from ..runtime.executor import resilient_map
 from ..runtime.faults import FaultPlan
-from .cut_problem import CutProblem, build_cut_problem, solve_cut_problem_sides
+from .cut_problem import CutProblem, build_cut_problem
 
 __all__ = [
     "NaturalCutStats",
     "detect_natural_cuts",
     "collect_cut_problems",
     "collect_cut_regions",
-    "SOLVER_FALLBACKS",
+    "SOLVER_FALLBACKS",  # re-export; canonical home is repro.cutengine.base
 ]
-
-#: fallback order when a flow solver raises: the paper's push-relabel drops
-#: to the BFS-based reference solvers, which are slower but independent code
-SOLVER_FALLBACKS = {
-    "push_relabel": ("dinic", "edmonds_karp"),
-    "scipy": ("push_relabel", "dinic"),
-    "dinic": ("edmonds_karp",),
-    "edmonds_karp": ("dinic",),
-}
 
 
 @dataclass
@@ -90,6 +82,7 @@ class NaturalCutStats:
     # cut-cache accounting (src/repro/perf/cut_cache.py)
     cache_hits: int = 0  # subproblems answered from the CutCache
     cache_misses: int = 0  # subproblems that required a fresh solve
+    cut_engine: str = "push_relabel"  # engine that chose the cuts
     final_executor: str = "serial"  # tier that finished the work
     deadline_expired: bool = False  # detection stopped early on the budget
     error_samples: List[str] = field(default_factory=list)
@@ -213,28 +206,33 @@ def collect_cut_regions(
 
 
 def _solve_one(
-    problem: CutProblem, solver: str, fault_plan: Optional[FaultPlan] = None
+    problem: CutProblem,
+    solver: str,
+    fault_plan: Optional[FaultPlan] = None,
+    engine: str = "push_relabel",
 ) -> tuple[float, np.ndarray, int]:
-    """Solve one subproblem, falling back along the solver chain.
+    """Solve one subproblem, falling back along the engine's solve chain.
 
     Returns ``(cut_value, source_side_mask, fallbacks_used)``.  The mask is
     over the problem's *local* vertices — the driver recovers original cut
     edges via :meth:`CutProblem.cut_edges_of_side` — so the result can also
-    be stored in the :class:`~repro.perf.cut_cache.CutCache` and reused for
-    any problem with the same network fingerprint.  Fault injection at the
-    ``"flow"`` site is keyed by the problem's center and the position in the
-    solver chain, so a plan with ``max_attempt=0`` fails the primary solver
+    be stored in the :class:`~repro.perf.cut_cache.CutCache` (under the
+    engine's cache key) and reused for any problem with the same network
+    fingerprint solved by the same engine.  The chain comes from
+    :meth:`~repro.cutengine.base.CutEngine.solve_chain`: for the default
+    engine it is exactly the historical flow-solver fallback order; other
+    engines append the push-relabel chain as a safety net.  Fault injection
+    at the ``"flow"`` site is keyed by the problem's center and the position
+    in the chain, so a plan with ``max_attempt=0`` fails the primary solve
     and lets the first fallback succeed.
     """
-    chain = (solver,) + tuple(
-        s for s in SOLVER_FALLBACKS.get(solver, ()) if s != solver
-    )
+    chain = get_engine(engine).solve_chain(solver)
     last_exc: Exception | None = None
-    for pos, candidate in enumerate(chain):
+    for pos, attempt in enumerate(chain):
         try:
             if fault_plan is not None:
                 fault_plan.apply("flow", problem.center, pos)
-            value, side = solve_cut_problem_sides(problem, candidate)
+            value, side = attempt(problem)
             return value, side, pos
         except Exception as exc:  # noqa: BLE001 - resilience boundary
             last_exc = exc
@@ -280,6 +278,7 @@ def detect_natural_cuts(
     budget: RunBudget | None = None,
     cut_cache: CutCache | None = None,
     parallel=None,
+    engine: str = "push_relabel",
 ) -> tuple[np.ndarray, NaturalCutStats]:
     """Run ``C`` coverage sweeps; returns ``(cut_edge_ids, stats)``.
 
@@ -306,12 +305,21 @@ def detect_natural_cuts(
     detected cut set is the union of per-region min cuts, which is
     independent of batching and completion order, so the result is
     bit-identical to the sequential path for the same ``rng``.
+
+    ``engine`` names a registered :class:`~repro.cutengine.base.CutEngine`
+    ("push_relabel" = the paper's min cut, bit-identical default;
+    "flowcutter" = Pareto-front enumeration).  Engine solves are pure
+    functions of the subproblem, so every executor/caching/ordering
+    guarantee above holds for every engine; cache entries are keyed
+    per-engine and can never cross engines.
     """
     rng = np.random.default_rng() if rng is None else rng
     runtime = RuntimeConfig() if runtime is None else runtime
     if budget is None and runtime.time_budget is not None:
         budget = runtime.make_budget()
+    eng = get_engine(engine)  # fail fast on unknown names
     stats = NaturalCutStats()
+    stats.cut_engine = engine
     stats.final_executor = executor if parallel is None else parallel.backend
     marked = np.zeros(g.m, dtype=bool)
 
@@ -331,7 +339,7 @@ def detect_natural_cuts(
         if parallel is not None:
             _pooled_sweep(
                 g, U, alpha, f, rng, solver, runtime, budget,
-                cut_cache, parallel, stats, marked,
+                cut_cache, parallel, stats, marked, engine,
             )
             continue
         with profile_span("natural_cuts.collect"):
@@ -339,7 +347,7 @@ def detect_natural_cuts(
         if cut_cache is not None:
             pending = []
             for prob in problems:
-                entry = cut_cache.get(prob.fingerprint())
+                entry = cut_cache.get(eng.cache_key(prob, solver))
                 if entry is None:
                     pending.append(prob)
                 else:
@@ -350,7 +358,9 @@ def detect_natural_cuts(
             pending = problems
         # functools.partial of a module-level function stays picklable for
         # the "processes" executor (a lambda would not)
-        solve = functools.partial(_solve_one, solver=solver, fault_plan=runtime.fault_plan)
+        solve = functools.partial(
+            _solve_one, solver=solver, fault_plan=runtime.fault_plan, engine=engine
+        )
         with profile_span("natural_cuts.solve"):
             results, report = resilient_map(
                 solve,
@@ -381,7 +391,7 @@ def detect_natural_cuts(
             value, side, fallbacks = out
             account(prob, value, side, fallbacks)
             if cut_cache is not None:
-                cut_cache.put(prob.fingerprint(), value, side)
+                cut_cache.put(eng.cache_key(prob, solver), value, side)
     if budget is not None and budget.expired():
         stats.deadline_expired = True
     cut_ids = np.flatnonzero(marked).astype(np.int64)
@@ -402,6 +412,7 @@ def _pooled_sweep(
     parallel,
     stats: NaturalCutStats,
     marked: np.ndarray,
+    engine: str = "push_relabel",
 ) -> None:
     """One coverage sweep on the shared-memory worker pool.
 
@@ -438,6 +449,7 @@ def _pooled_sweep(
         solver=solver,
         cache_entries=cut_cache.max_entries if cut_cache is not None else 0,
         fault_plan=runtime.fault_plan,
+        engine=engine,
     )
     timeout = runtime.subproblem_timeout
     if timeout is not None:

@@ -50,6 +50,8 @@ class FilterResult:
     fragment_stats: FragmentStats
     time_tiny: float = 0.0
     time_natural: float = 0.0
+    # engine that chose the natural cuts (repro.cutengine registry name)
+    cut_engine: str = "push_relabel"
 
     @property
     def reduction_factor(self) -> float:
@@ -58,13 +60,19 @@ class FilterResult:
         return n0 / max(1, self.fragment_graph.n)
 
     def run_report(self) -> dict:
-        """Resilience incidents of the filtering phase (empty = clean run)."""
+        """Resilience incidents of the filtering phase, plus the
+        informational ``"filtering"`` section (engine + solve counts)."""
         report: dict = {}
         if self.tiny_stats is not None and self.tiny_stats.deadline_expired:
             report["tiny_deadline_expired"] = True
             report["tiny_passes_run"] = self.tiny_stats.passes_run
         if self.natural_stats is not None:
             report.update(self.natural_stats.incidents())
+            report["filtering"] = {
+                "cut_engine": self.cut_engine,
+                "problems_solved": self.natural_stats.problems_solved,
+                "cut_edges_marked": self.natural_stats.cut_edges_marked,
+            }
         cache = self.cache_report()
         if cache:
             report["cut_cache"] = cache
@@ -161,6 +169,7 @@ def run_filtering(
                 budget=budget,
                 cut_cache=cut_cache,
                 parallel=parallel,
+                engine=config.cut_engine,
             )
         with profile_span("filter.fragments"):
             labels, frag_stats = fragment_labels(chain.current, cut_ids, U)
@@ -183,4 +192,5 @@ def run_filtering(
         fragment_stats=frag_stats,
         time_tiny=time_tiny,
         time_natural=time_natural,
+        cut_engine=config.cut_engine,
     )

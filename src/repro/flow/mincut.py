@@ -8,6 +8,14 @@ of the cut edges.  Three backends:
 - ``"dinic"`` / ``"edmonds_karp"`` — reference solvers for cross-checking.
 - ``"scipy"`` — ``scipy.sparse.csgraph.maximum_flow`` (C implementation) for
   integer capacities; an engineering escape hatch when subproblems get big.
+
+Side-extraction convention (pinned by ``tests/test_flow_mincut_sides.py``):
+when the min cut is not unique, ``push_relabel`` returns the
+**source-maximal** side (complement of the residual sink-reachable set)
+while the other backends return the **source-minimal** side (residual BFS
+from ``s``).  Each convention is deterministic, but masks differ across
+backends — which is why cut-engine cache keys are salted with the solver
+name (``repro.cutengine.base.CutEngine.cache_key``).
 """
 
 from __future__ import annotations

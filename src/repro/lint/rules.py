@@ -32,6 +32,7 @@ __all__ = ["Violation", "LintContext", "Rule", "RULES", "RULES_BY_ID"]
 ALGORITHMIC_PACKAGES = (
     "graph",
     "flow",
+    "cutengine",
     "filtering",
     "assembly",
     "balanced",

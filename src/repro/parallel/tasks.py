@@ -66,23 +66,28 @@ def solve_center_batch(
     solver: str,
     cache_entries: int = 0,
     fault_plan: Optional[FaultPlan] = None,
+    engine: str = "push_relabel",
 ) -> Tuple[List[Optional[tuple]], dict]:
-    """Solve the min-cut subproblems of one batch of BFS centers.
+    """Solve the cut subproblems of one batch of BFS centers.
 
     Mirrors the paper's parallel stage: the driver picked the centers
     sequentially; the worker re-grows each BFS region (deterministic given
     the center — it does not depend on the driver's covered mask), builds
-    the contracted flow network, and solves it, consulting this worker's
-    :class:`CutCache` first.  Returns one entry per center:
-    ``(center, cut_value, cut_edge_ids, fallbacks_used)`` with *global*
-    edge ids, or ``None`` when the region yields no cut problem.  The
-    driver only ORs the edge ids into the marked set — a union, so the
+    the contracted flow network, and solves it with the named
+    :class:`~repro.cutengine.base.CutEngine`, consulting this worker's
+    :class:`CutCache` first (keyed per-engine, so long-lived worker caches
+    can never serve one engine's cut to another).  Returns one entry per
+    center: ``(center, cut_value, cut_edge_ids, fallbacks_used)`` with
+    *global* edge ids, or ``None`` when the region yields no cut problem.
+    The driver only ORs the edge ids into the marked set — a union, so the
     detected cuts are independent of batching and completion order.
     """
+    from ..cutengine import get_engine
     from ..filtering.cut_problem import build_cut_problem
     from ..filtering.natural_cuts import _solve_one
 
     g = resolve_graph(handle)
+    eng = get_engine(engine)
     tstats = _TaskStats()
     max_size = max(2, int(math.ceil(alpha * U)))
     core_size = max(1, int(math.ceil(alpha * U / f)))
@@ -101,14 +106,14 @@ def solve_center_batch(
         if prob is None:
             results.append(None)
             continue
-        entry = cache.get(prob.fingerprint()) if cache is not None else None
+        entry = cache.get(eng.cache_key(prob, solver)) if cache is not None else None
         if entry is not None:
             value, side, fallbacks = entry[0], entry[1], 0
         else:
             with profile_span("natural_cuts.solve.worker"):
-                value, side, fallbacks = _solve_one(prob, solver, fault_plan)
+                value, side, fallbacks = _solve_one(prob, solver, fault_plan, engine)
             if cache is not None:
-                cache.put(prob.fingerprint(), value, side)
+                cache.put(eng.cache_key(prob, solver), value, side)
         edge_ids = np.asarray(prob.cut_edges_of_side(side), dtype=np.int64)
         results.append((center, float(value), edge_ids, int(fallbacks)))
 

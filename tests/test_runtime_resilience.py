@@ -242,10 +242,13 @@ class TestRunReportSurface:
     def test_clean_run_reports_nothing(self, tiny_road):
         res = run_punch(tiny_road, 96, PunchConfig(seed=0))
         report = res.run_report()
-        # the cut-cache counters are informational, not an incident
+        # the cut-cache counters and filtering section are informational,
+        # not incidents
         cache = report.pop("cut_cache", None)
+        filtering = report.pop("filtering", None)
         assert report == {}
         assert cache is not None and cache["misses"] > 0
+        assert filtering is not None and filtering["cut_engine"] == "push_relabel"
         assert "resilience" not in res.summary()
 
     def test_stats_fields_present(self, tiny_road):
