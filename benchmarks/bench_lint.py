@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Whole-project lint benchmark: wall time and per-rule finding volume.
+
+Standalone script (not a pytest bench):
+
+    python benchmarks/bench_lint.py
+
+Times ``analyze_project`` over the real ``src/repro`` tree — the exact work
+the CI ``lint-project`` step performs — plus the per-file-only pass and the
+call-graph build on their own, so a regression can be attributed to a layer.
+Results land in ``BENCH_lint.json`` at the repo root (schema
+``bench_lint/v1``).
+
+Exit status is non-zero when the full project analysis exceeds
+``TIME_LIMIT_S``: the analyzer gates every CI run and must stay cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.callgraph import build_project_index  # noqa: E402
+from repro.lint.engine import lint_paths  # noqa: E402
+from repro.lint.project import analyze_project  # noqa: E402
+
+SRC = REPO_ROOT / "src" / "repro"
+TIME_LIMIT_S = 10.0
+OUT_PATH = REPO_ROOT / "BENCH_lint.json"
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def main() -> int:
+    index_s, (index, errors) = timed(lambda: build_project_index(SRC))
+    perfile_s, perfile = timed(lambda: lint_paths([SRC]))
+    project_s, analysis = timed(lambda: analyze_project(SRC))
+
+    result = analysis.result
+    per_rule = Counter(v.rule for v in result.violations)
+    per_rule.update(v.rule for v in analysis.prebaseline if v not in result.violations)
+
+    doc = {
+        "schema": "bench_lint/v1",
+        "files": len(index.modules),
+        "call_graph": {
+            "build_s": round(index_s, 4),
+            "functions": sum(len(m.functions) for m in index.modules.values()),
+            "edges": sum(len(v) for v in index.call_edges().values()),
+            "entrypoints": len(index.algorithmic_entrypoints()),
+        },
+        "per_file_pass_s": round(perfile_s, 4),
+        "project_pass_s": round(project_s, 4),
+        "time_limit_s": TIME_LIMIT_S,
+        "findings": {
+            "violations": len(result.violations),
+            "baselined": result.baselined,
+            "suppressed": result.suppressed,
+            "errors": len(result.errors) + len(errors),
+            "per_rule": dict(sorted(per_rule.items())),
+        },
+        "exit_code": result.exit_code,
+        "ok": project_s <= TIME_LIMIT_S,
+    }
+    OUT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(json.dumps(doc, indent=2))
+    if not doc["ok"]:
+        print(
+            f"FAIL: project analysis took {project_s:.2f}s "
+            f"(limit {TIME_LIMIT_S:.0f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,7 +56,7 @@ def run_assembly(
     :func:`repro.assembly.multistart.multistart`.
     """
     config = AssemblyConfig() if config is None else config
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     if fragment_graph.n and int(fragment_graph.vsize.max()) > U:
         raise ValueError("a fragment exceeds U; filtering did not respect the bound")
     t0 = time.perf_counter()

@@ -99,7 +99,7 @@ def local_search(
         stats = LocalSearchStats()
         stats.initial_cost = stats.final_cost = state.cost
         return stats
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     stats = LocalSearchStats()
     stats.initial_cost = state.cost
 

@@ -186,7 +186,7 @@ def multistart(
     ``parallel`` (a :class:`~repro.parallel.pool.ParallelRuntime`) changes.
     """
     cfg = AssemblyConfig() if cfg is None else cfg
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     runtime = RuntimeConfig() if runtime is None else runtime
     if budget is None and runtime.time_budget is not None:
         budget = runtime.make_budget()

@@ -148,14 +148,6 @@ def _evict_overfull(g: Graph, labels: np.ndarray, sizes: np.ndarray, max_size: i
         labels[v] = d
 
 
-def _project(levels: List[Tuple[Graph, np.ndarray]], coarse_labels: np.ndarray) -> np.ndarray:
-    """Project a coarsest-level labeling back through the hierarchy."""
-    labels = coarse_labels
-    for _, dense in reversed(levels):
-        labels = labels[dense]
-    return labels
-
-
 def multilevel_partition_k(
     g: Graph,
     k: int,

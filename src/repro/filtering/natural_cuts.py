@@ -313,7 +313,7 @@ def detect_natural_cuts(
     guarantee above holds for every engine; cache entries are keyed
     per-engine and can never cross engines.
     """
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     runtime = RuntimeConfig() if runtime is None else runtime
     if budget is None and runtime.time_budget is not None:
         budget = runtime.make_budget()

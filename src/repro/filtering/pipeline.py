@@ -120,7 +120,7 @@ def run_filtering(
     only speed, never the fragments.
     """
     config = FilterConfig() if config is None else config
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     if U < 1:
         raise ValueError("U must be >= 1")
     if U < int(g.vsize.max(initial=1)):

@@ -1,0 +1,159 @@
+"""Findings baseline: incremental adoption for the project-level passes.
+
+A baseline file records *accepted* findings — each with a justification —
+so a newly introduced pass can gate regressions immediately without first
+requiring every historical finding to be fixed.  Semantics:
+
+- a finding matching a baseline entry is **suppressed** (counted as
+  ``baselined``, not a violation);
+- a baseline entry matching no current finding is **stale** — reported in
+  the summary so fixed debt gets retired (``--write-baseline`` prunes it);
+- matching is by ``(path, rule, message)``, *not* line number, so pure
+  line drift (an unrelated edit above) does not churn the file.  Multiple
+  identical findings in one file consume multiple identical entries.
+
+The file is JSON, committed next to ``pyproject.toml``::
+
+    {"version": 1, "entries": [
+      {"path": "src/repro/core/punch.py", "rule": "REPRO114",
+       "message": "layering: 'core' may not import 'filtering' ...",
+       "reason": "driver module; relocation tracked in ROADMAP item ..."}
+    ]}
+
+Every entry **must** carry a non-empty ``reason`` — an unexplained
+baseline entry defeats the point and is rejected at load time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .rules import Violation
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "write_baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    rule: str
+    message: str
+    reason: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.rule, self.message)
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry]
+    path: Path
+
+    def counts(self) -> Counter:
+        return Counter(entry.key() for entry in self.entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse and validate a baseline file (raises ValueError on bad shape)."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: expected a dict with version={BASELINE_VERSION}"
+        )
+    raw = doc.get("entries")
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path}: 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise ValueError(f"baseline {path}: entry {i} is not an object")
+        try:
+            entry = BaselineEntry(
+                path=str(item["path"]),
+                rule=str(item["rule"]),
+                message=str(item["message"]),
+                reason=str(item.get("reason", "")).strip(),
+            )
+        except KeyError as exc:
+            raise ValueError(f"baseline {path}: entry {i} missing {exc}") from exc
+        if not entry.reason:
+            raise ValueError(
+                f"baseline {path}: entry {i} ({entry.rule} at {entry.path}) has "
+                "no 'reason' — every accepted finding must be justified"
+            )
+        entries.append(entry)
+    return Baseline(entries=entries, path=path)
+
+
+def write_baseline(
+    path: Path, violations: Sequence[Violation], reasons: Dict[Tuple[str, str, str], str] | None = None
+) -> Baseline:
+    """Write the current findings as a fresh baseline.
+
+    Reasons are carried over from an existing baseline where keys match;
+    new entries get a placeholder that loudly demands editing (the loader
+    accepts it — it is non-empty — but reviews will see it).
+    """
+    reasons = reasons or {}
+    entries = [
+        BaselineEntry(
+            path=v.path,
+            rule=v.rule,
+            message=v.message,
+            reason=reasons.get(
+                (v.path, v.rule, v.message),
+                "TODO: justify this accepted finding",
+            ),
+        )
+        for v in sorted(violations, key=lambda v: v.key())
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"path": e.path, "rule": e.rule, "message": e.message, "reason": e.reason}
+            for e in entries
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return Baseline(entries=entries, path=path)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> Tuple[List[Violation], int, List[BaselineEntry]]:
+    """Split findings against a baseline.
+
+    Returns ``(remaining, baselined_count, stale_entries)`` where
+    ``remaining`` are findings not covered by the baseline and
+    ``stale_entries`` are baseline entries that matched nothing (fixed debt
+    to retire).
+    """
+    budget = baseline.counts()
+    remaining: List[Violation] = []
+    baselined = 0
+    for v in sorted(violations, key=lambda v: v.key()):
+        key = (v.path, v.rule, v.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined += 1
+        else:
+            remaining.append(v)
+    stale = [e for e in baseline.entries if budget.get(e.key(), 0) > 0]
+    # consume the stale budget so duplicate entries report once each
+    seen: Counter = Counter()
+    deduped_stale: List[BaselineEntry] = []
+    for e in stale:
+        if seen[e.key()] < budget[e.key()]:
+            seen[e.key()] += 1
+            deduped_stale.append(e)
+    return remaining, baselined, deduped_stale

@@ -1,0 +1,467 @@
+"""Project index and approximate call graph for whole-project analysis.
+
+The per-file rules (REPRO101–109) see one module at a time; the project
+passes (REPRO110+) need to know *who calls whom across files*: an unseeded
+RNG constructor is harmless in a scratch script and a contract violation
+when a filtering entrypoint can reach it.  This module builds:
+
+- a :class:`ProjectIndex`: every module under a root parsed once, with its
+  module-scope imports (``TYPE_CHECKING`` blocks excluded — deferred
+  imports are the sanctioned cycle-break and do not create architecture
+  edges), resolved import aliases (absolute *and* relative), and every
+  function/method definition;
+- an approximate, AST-level call graph.  Resolution is name-based and
+  deliberately conservative:
+
+  * ``f(...)`` → a top-level ``def f`` in the same module, else an
+    imported name followed through package ``__init__`` re-exports;
+  * ``mod.f(...)`` / ``pkg.mod.f(...)`` → the aliased module's ``def f``;
+  * ``self.m(...)`` / ``cls.m(...)`` → the enclosing class's method (or a
+    base class's, walking project-local bases);
+  * ``ClassName(...)`` → ``ClassName.__init__``;
+  * ``obj.m(...)`` on an unknown receiver → resolved only when exactly one
+    project class defines a method ``m`` (unique-name heuristic) — an
+    ambiguous name produces *no* edge rather than a speculative one.
+
+  Dynamic dispatch, higher-order callbacks, and getattr are out of scope;
+  the dataflow rules that consume this graph are documented as
+  approximate and are paired with a findings baseline.
+
+Reachability queries (:meth:`ProjectIndex.reachable_from`) power the
+interprocedural rules in :mod:`.dataflow` and the dead-code report.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .rules import ALGORITHMIC_PACKAGES
+
+__all__ = [
+    "FuncKey",
+    "FunctionInfo",
+    "ImportEdge",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_project_index",
+]
+
+#: (dotted module name, function qualname) — the call-graph node identity.
+#: Module top-level code is the pseudo-function ``"<module>"``.
+FuncKey = Tuple[str, str]
+
+MODULE_BODY = "<module>"
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One module-scope import statement, resolved to a dotted target."""
+
+    target: str  #: dotted module (or module.attr) being imported
+    lineno: int
+    is_from: bool  #: ``from X import Y`` (target = X, names carry Y)
+    names: Tuple[str, ...] = ()  #: imported names for ``from`` imports
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    module: str
+    qualname: str  #: ``f`` or ``Class.method`` (nested defs: ``outer.<locals>.inner``)
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef (Module for MODULE_BODY)
+    lineno: int
+    class_name: Optional[str] = None
+    decorators: Tuple[str, ...] = ()  #: dotted/last-name decorator spellings
+
+    @property
+    def key(self) -> FuncKey:
+        return (self.module, self.qualname)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_public(self) -> bool:
+        return all(not part.startswith("_") for part in self.qualname.split("."))
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: tree, source, imports, aliases, definitions."""
+
+    name: str  #: dotted, e.g. ``repro.filtering.natural_cuts``
+    path: Path
+    tree: ast.Module
+    source: str
+    package: str  #: first subpackage under the root package ("" at top level)
+    imports: List[ImportEdge] = field(default_factory=list)
+    aliases: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    class_bases: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def is_algorithmic(self) -> bool:
+        return self.package in ALGORITHMIC_PACKAGES
+
+
+def _module_scope_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level import statements, skipping ``if TYPE_CHECKING:`` bodies.
+
+    ``try:`` blocks at module scope (optional-dependency guards) count —
+    they execute at import time.  Function-local imports never count: they
+    are the project's documented mechanism for breaking import cycles.
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, ast.If):
+            test = node.test
+            flag = test.id if isinstance(test, ast.Name) else (
+                test.attr if isinstance(test, ast.Attribute) else None
+            )
+            if flag == "TYPE_CHECKING":
+                continue
+            for sub in node.body + node.orelse:
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    yield sub
+        elif isinstance(node, ast.Try):
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    yield sub
+
+
+def _resolve_relative(module_name: str, is_package: bool, level: int, target: str) -> str:
+    """Absolute dotted name for a ``from ...target import x`` statement."""
+    parts = module_name.split(".")
+    # a package's __init__ counts as the package itself for level-1 imports
+    anchor = len(parts) - level + (1 if is_package else 0)
+    base = parts[:anchor] if anchor > 0 else []
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def _dotted_expr(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` attribute chains as a dotted string (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _collect_module(
+    name: str, path: Path, tree: ast.Module, source: str, package: str
+) -> ModuleInfo:
+    info = ModuleInfo(name=name, path=path, tree=tree, source=source, package=package)
+    is_package = path.name == "__init__.py"
+    for stmt in _module_scope_imports(tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                info.imports.append(ImportEdge(alias.name, stmt.lineno, is_from=False))
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level == 0:
+                target = stmt.module or ""
+            else:
+                target = _resolve_relative(name, is_package, stmt.level, stmt.module or "")
+            names = tuple(a.name for a in stmt.names if a.name != "*")
+            info.imports.append(ImportEdge(target, stmt.lineno, is_from=True, names=names))
+    # aliases: *all* imports (any scope) feed name resolution, like the
+    # per-file rules — a deferred import still creates a real call edge
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                info.aliases[bound] = alias.name if alias.asname else alias.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                target = node.module or ""
+            else:
+                target = _resolve_relative(name, is_package, node.level, node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                info.aliases[alias.asname or alias.name] = (
+                    f"{target}.{alias.name}" if target else alias.name
+                )
+    _collect_defs(info, tree.body, prefix="", class_name=None)
+    info.functions[MODULE_BODY] = FunctionInfo(
+        module=name, qualname=MODULE_BODY, node=tree, lineno=1
+    )
+    return info
+
+
+def _collect_defs(
+    info: ModuleInfo,
+    body: Sequence[ast.stmt],
+    prefix: str,
+    class_name: Optional[str],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{stmt.name}"
+            decos = tuple(
+                d for d in (_dotted_expr(dec.func if isinstance(dec, ast.Call) else dec)
+                            for dec in stmt.decorator_list)
+                if d is not None
+            )
+            info.functions[qual] = FunctionInfo(
+                module=info.name,
+                qualname=qual,
+                node=stmt,
+                lineno=stmt.lineno,
+                class_name=class_name,
+                decorators=decos,
+            )
+            _collect_defs(info, stmt.body, prefix=f"{qual}.<locals>.", class_name=None)
+        elif isinstance(stmt, ast.ClassDef):
+            bases = tuple(
+                b for b in (_dotted_expr(base) for base in stmt.bases) if b is not None
+            )
+            info.class_bases[f"{prefix}{stmt.name}"] = bases
+            _collect_defs(
+                info, stmt.body, prefix=f"{prefix}{stmt.name}.", class_name=f"{prefix}{stmt.name}"
+            )
+
+
+class ProjectIndex:
+    """All modules under one root, plus the derived call graph."""
+
+    def __init__(self, root: Path, modules: Dict[str, ModuleInfo]) -> None:
+        self.root = root
+        self.modules = modules
+        #: method name -> defining (module, qualname) keys, for the
+        #: unique-name fallback resolution of ``obj.m(...)`` calls
+        self._methods_by_name: Dict[str, List[FuncKey]] = {}
+        #: top-level function name -> defining keys
+        self._toplevel_by_name: Dict[str, List[FuncKey]] = {}
+        for mod in modules.values():
+            for fn in mod.functions.values():
+                if fn.qualname == MODULE_BODY:
+                    continue
+                if fn.class_name is not None:
+                    self._methods_by_name.setdefault(fn.name, []).append(fn.key)
+                elif "." not in fn.qualname:
+                    self._toplevel_by_name.setdefault(fn.name, []).append(fn.key)
+        self._edges: Optional[Dict[FuncKey, FrozenSet[FuncKey]]] = None
+        self._reverse: Optional[Dict[FuncKey, FrozenSet[FuncKey]]] = None
+
+    # -- lookups ---------------------------------------------------------
+
+    def function(self, key: FuncKey) -> Optional[FunctionInfo]:
+        mod = self.modules.get(key[0])
+        return mod.functions.get(key[1]) if mod is not None else None
+
+    def resolve_export(self, module: str, name: str, _depth: int = 0) -> Optional[FuncKey]:
+        """Follow ``from m import name`` through re-export chains to a def."""
+        mod = self.modules.get(module)
+        if mod is None or _depth > 4:
+            return None
+        if name in mod.functions:
+            return (module, name)
+        if name in mod.class_bases:  # class: constructor stands in for the class
+            init = f"{name}.__init__"
+            if init in mod.functions:
+                return (module, init)
+            return (module, name)  # class without project-visible __init__
+        origin = mod.aliases.get(name)
+        if origin and "." in origin:
+            src_mod, src_name = origin.rsplit(".", 1)
+            if src_mod in self.modules:
+                return self.resolve_export(src_mod, src_name, _depth + 1)
+        return None
+
+    # -- call-graph construction ----------------------------------------
+
+    def _resolve_call(
+        self, mod: ModuleInfo, caller: FunctionInfo, call: ast.Call
+    ) -> List[FuncKey]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in mod.functions:  # top-level def or class-less qualname
+                return [(mod.name, name)]
+            if name in mod.class_bases:
+                init = f"{name}.__init__"
+                return [(mod.name, init)] if init in mod.functions else []
+            origin = mod.aliases.get(name)
+            if origin:
+                if origin in self.modules:
+                    return []  # bare module alias called — not a function
+                if "." in origin:
+                    src_mod, src_name = origin.rsplit(".", 1)
+                    if src_mod in self.modules:
+                        resolved = self.resolve_export(src_mod, src_name)
+                        return [resolved] if resolved else []
+            return []
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            recv = func.value
+            if isinstance(recv, ast.Name) and recv.id in ("self", "cls"):
+                if caller.class_name is not None:
+                    key = self._resolve_method(mod, caller.class_name, attr)
+                    if key is not None:
+                        return [key]
+                return []
+            dotted = _dotted_expr(func)
+            if dotted is not None and "." in dotted:
+                head, rest = dotted.split(".", 1)
+                origin = mod.aliases.get(head)
+                if origin is not None:
+                    full = f"{origin}.{rest}"
+                    target_mod, _, target_name = full.rpartition(".")
+                    if target_mod in self.modules:
+                        resolved = self.resolve_export(target_mod, target_name)
+                        if resolved:
+                            return [resolved]
+                        return []
+            # unknown receiver: unique-method-name heuristic only
+            candidates = self._methods_by_name.get(attr, [])
+            if len(candidates) == 1:
+                return [candidates[0]]
+            return []
+        return []
+
+    def _resolve_method(self, mod: ModuleInfo, class_name: str, attr: str) -> Optional[FuncKey]:
+        """Find ``attr`` on ``class_name`` or a project-local base class."""
+        seen: Set[Tuple[str, str]] = set()
+        stack: List[Tuple[str, str]] = [(mod.name, class_name)]
+        while stack:
+            mod_name, cls = stack.pop()
+            if (mod_name, cls) in seen:
+                continue
+            seen.add((mod_name, cls))
+            m = self.modules.get(mod_name)
+            if m is None:
+                continue
+            qual = f"{cls}.{attr}"
+            if qual in m.functions:
+                return (mod_name, qual)
+            for base in m.class_bases.get(cls, ()):
+                base_name = base.rsplit(".", 1)[-1]
+                origin = m.aliases.get(base.split(".", 1)[0])
+                if origin is not None and "." in base:
+                    pass  # aliased module attribute base: resolved below
+                # same-module base
+                if base_name in m.class_bases:
+                    stack.append((mod_name, base_name))
+                    continue
+                target = m.aliases.get(base_name)
+                if target and "." in target:
+                    src_mod, src_cls = target.rsplit(".", 1)
+                    if src_mod in self.modules:
+                        stack.append((src_mod, src_cls))
+        return None
+
+    def call_edges(self) -> Dict[FuncKey, FrozenSet[FuncKey]]:
+        """caller key -> callee keys (built once, cached)."""
+        if self._edges is not None:
+            return self._edges
+        edges: Dict[FuncKey, Set[FuncKey]] = {}
+        for mod in self.modules.values():
+            # map every AST node inside a def to its innermost function
+            owner: Dict[int, FunctionInfo] = {}
+            for fn in mod.functions.values():
+                if fn.qualname == MODULE_BODY:
+                    continue
+                fn_node = fn.node
+                assert isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for sub in ast.walk(fn_node):
+                    owner.setdefault(id(sub), fn)
+            top = mod.functions[MODULE_BODY]
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                caller = owner.get(id(node), top)
+                callees = self._resolve_call(mod, caller, node)
+                if callees:
+                    edges.setdefault(caller.key, set()).update(callees)
+        # a module's top-level body "calls" every function it decorates via
+        # registration decorators is out of scope; but nested defs are
+        # reachable from their enclosing function by construction:
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                if "<locals>" in fn.qualname:
+                    outer = fn.qualname.split(".<locals>.", 1)[0]
+                    if outer in mod.functions:
+                        edges.setdefault((mod.name, outer), set()).add(fn.key)
+        self._edges = {k: frozenset(v) for k, v in edges.items()}
+        return self._edges
+
+    def reverse_edges(self) -> Dict[FuncKey, FrozenSet[FuncKey]]:
+        if self._reverse is None:
+            rev: Dict[FuncKey, Set[FuncKey]] = {}
+            for caller, callees in self.call_edges().items():
+                for callee in callees:
+                    rev.setdefault(callee, set()).add(caller)
+            self._reverse = {k: frozenset(v) for k, v in rev.items()}
+        return self._reverse
+
+    def reachable_from(self, roots: Sequence[FuncKey]) -> Set[FuncKey]:
+        """Every function transitively callable from ``roots`` (inclusive)."""
+        edges = self.call_edges()
+        seen: Set[FuncKey] = set()
+        stack = [r for r in roots if self.function(r) is not None]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(edges.get(key, ()))
+        return seen
+
+    def algorithmic_entrypoints(self) -> List[FuncKey]:
+        """Public functions/methods of algorithmic packages (dataflow roots)."""
+        out: List[FuncKey] = []
+        for mod in self.modules.values():
+            if not mod.is_algorithmic:
+                continue
+            for fn in mod.functions.values():
+                if fn.qualname != MODULE_BODY and fn.is_public:
+                    out.append(fn.key)
+            out.append((mod.name, MODULE_BODY))  # import-time code runs too
+        return sorted(out)
+
+
+def build_project_index(root: Path) -> Tuple[ProjectIndex, List[Tuple[str, str]]]:
+    """Parse every ``.py`` file under ``root`` into a :class:`ProjectIndex`.
+
+    Returns ``(index, errors)`` where errors are ``(path, message)`` pairs
+    for unparseable files (the caller maps them to :class:`~.engine.LintError`).
+    """
+    root = root.resolve()
+    # dotted names are rooted at the package directory: ``src/repro`` holds
+    # an __init__.py, so its modules are named ``repro.*``; a rootless
+    # fixture tree keeps bare ``pkg.module`` names.
+    base = root.parent if (root / "__init__.py").exists() else root
+
+    modules: Dict[str, ModuleInfo] = {}
+    errors: List[Tuple[str, str]] = []
+    files = sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
+    for path in files:
+        rel = path.relative_to(base)
+        parts = list(rel.parts)
+        if parts[-1] == "__init__.py":
+            dotted = ".".join(parts[:-1])
+        else:
+            dotted = ".".join(parts)[: -len(".py")]
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, UnicodeDecodeError, SyntaxError) as exc:
+            errors.append((str(path), f"cannot analyze: {exc}"))
+            continue
+        rel_to_root = path.relative_to(root)
+        package = rel_to_root.parts[0] if len(rel_to_root.parts) > 1 else ""
+        modules[dotted] = _collect_module(dotted, path, tree, source, package)
+    return ProjectIndex(root, modules), errors

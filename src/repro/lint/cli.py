@@ -1,5 +1,14 @@
 """Command-line front end: ``python -m repro.lint [paths...]``.
 
+Two modes share one reporter and exit-code contract:
+
+- **file mode** (default): per-file rules over the given paths;
+- **project mode** (``--project``): the whole-project analysis — per-file
+  rules plus call-graph dataflow (REPRO110–113), architecture layering
+  (REPRO114), and twin/registry contracts (REPRO115–116) — with the
+  findings baseline applied (``lint_baseline.json`` next to
+  ``pyproject.toml`` unless overridden).
+
 Exit codes: 0 clean, 1 violations found, 2 analysis/usage errors — so CI
 gates can distinguish "tree is dirty" from "linter is broken".
 """
@@ -8,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .engine import lint_paths
@@ -25,7 +35,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to lint (default: src); with --project, "
+        "the single package root to analyze",
     )
     parser.add_argument(
         "--format",
@@ -44,7 +55,95 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-project analysis: call-graph dataflow, layering DAG, "
+        "twin/registry contracts, findings baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="findings baseline file (default: lint_baseline.json next to "
+        "pyproject.toml; project mode only)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current project findings to the baseline file and exit 0 "
+        "(reasons are carried over where findings match)",
+    )
+    parser.add_argument(
+        "--tests-dir",
+        metavar="DIR",
+        default=None,
+        help="tests directory for contract coverage checks (default: "
+        "<repo root>/tests)",
+    )
+    parser.add_argument(
+        "--dead-code",
+        action="store_true",
+        help="print the call-graph dead-code report (informational; exit 0)",
+    )
     return parser
+
+
+def _run_project(args: argparse.Namespace, select: Optional[List[str]]) -> int:
+    from .baseline import DEFAULT_BASELINE_NAME, write_baseline
+    from .project import analyze_project, dead_functions
+
+    if len(args.paths) != 1:
+        print("error: --project takes exactly one root directory", file=sys.stderr)
+        return 2
+    root = Path(args.paths[0])
+    if not root.is_dir():
+        print(f"error: --project root {root} is not a directory", file=sys.stderr)
+        return 2
+    analysis = analyze_project(
+        root,
+        tests_dir=args.tests_dir,
+        select=select,
+        baseline_path=args.baseline,
+        use_baseline=not (args.no_baseline or args.write_baseline),
+    )
+    if args.dead_code:
+        extras = [i for i in (analysis.test_index,) if i is not None]
+        dead = dead_functions(analysis.index, extras)
+        for (mod, qual), _path in dead:
+            print(f"{mod}.{qual}: never referenced by src, tests, or benchmarks")
+        print(f"{len(dead)} unreferenced function(s)")
+        return 0
+    if args.write_baseline:
+        bp = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else analysis.repo_root / DEFAULT_BASELINE_NAME
+        )
+        reasons = (
+            {e.key(): e.reason for e in analysis.baseline.entries}
+            if analysis.baseline is not None
+            else None
+        )
+        # carry reasons over from the previous baseline when it loads
+        if reasons is None and bp.is_file():
+            from .baseline import load_baseline
+
+            try:
+                reasons = {e.key(): e.reason for e in load_baseline(bp).entries}
+            except ValueError:
+                reasons = None
+        written = write_baseline(bp, analysis.prebaseline, reasons)
+        print(f"wrote {len(written.entries)} finding(s) to {bp}")
+        return 0
+    result = analysis.result
+    print(format_json(result) if args.format == "json" else format_text(result))
+    return result.exit_code
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -56,6 +155,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     select: Optional[List[str]] = None
     if args.select is not None:
         select = [s for s in args.select.split(",") if s.strip()]
+    if args.project or args.dead_code:
+        try:
+            return _run_project(args, select)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         result = lint_paths(args.paths, select=select)
     except ValueError as exc:

@@ -21,13 +21,48 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from .rules import RULES, LintContext, Rule, Violation
+from .rules import KNOWN_RULE_IDS, META_RULE_ID, RULES, LintContext, Rule, Violation
 
-__all__ = ["LintError", "LintResult", "lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "LintError",
+    "LintResult",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "parse_noqa",
+]
 
 PathLike = Union[str, Path]
 
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*\(\s*([A-Z0-9_,\s]*?)\s*\))?", re.IGNORECASE)
+#: every ``# repro: noqa`` marker on a line (there may be several after a
+#: code-folding merge); the id list accepts any comma-separated tokens so
+#: that *unknown* ids are caught and reported instead of silently dropped
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*\(\s*([^)]*?)\s*\))?", re.IGNORECASE)
+
+
+def _comments(source: str) -> List[Tuple[int, int, str]]:
+    """``(line, col, text)`` for every comment token in the module.
+
+    Tokenizing (rather than scanning raw lines) means docstrings that merely
+    *describe* the noqa syntax are never mistaken for suppression markers.
+    Falls back to a whole-line scan if tokenization fails — the caller has
+    already parsed the file, so this only happens on exotic encodings.
+    """
+    import io
+    import tokenize
+
+    out: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        out = [
+            (lineno, 0, line)
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    return out
 
 
 @dataclass(frozen=True)
@@ -46,6 +81,10 @@ class LintResult:
     errors: List[LintError] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: findings accepted by the baseline file (project mode)
+    baselined: int = 0
+    #: baseline entries matching no current finding — fixed debt to retire
+    stale_baseline: List[str] = field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
@@ -60,39 +99,78 @@ class LintResult:
         self.errors.extend(other.errors)
         self.files_checked += other.files_checked
         self.suppressed += other.suppressed
+        self.baselined += other.baselined
+        self.stale_baseline.extend(other.stale_baseline)
 
     def sorted_violations(self) -> List[Violation]:
         """Violations in stable (path, line, col, rule) order."""
         return sorted(self.violations, key=lambda v: v.key())
 
 
-def _noqa_lines(source: str) -> Dict[int, Optional[Set[str]]]:
-    """Map 1-based line numbers to suppressed rule ids.
+def parse_noqa(
+    source: str, path: str = "<string>"
+) -> Tuple[Dict[int, Optional[Set[str]]], List[Violation]]:
+    """Parse every ``# repro: noqa`` marker in a module.
 
-    ``None`` means a blanket ``# repro: noqa`` (all rules); a set restricts
-    the suppression to the listed rule ids.
+    Returns ``(suppressions, meta_violations)``:
+
+    - ``suppressions`` maps 1-based line numbers to suppressed rule ids;
+      ``None`` means a blanket ``# repro: noqa`` (all rules).  Multiple
+      markers on one line merge; a blanket marker wins.  Ids are
+      comma-separated and case-insensitive.
+    - ``meta_violations`` are :data:`~.rules.META_RULE_ID` (REPRO000)
+      findings for ids that name no known rule — a typo'd suppression
+      silently *not* suppressing (or shadow-suppressing a future rule) is
+      itself a hazard, so it is reported instead of ignored.
     """
     out: Dict[int, Optional[Set[str]]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "noqa" not in line:
+    meta: List[Violation] = []
+    for lineno, col, comment in _comments(source):
+        if "noqa" not in comment:
             continue
-        m = _NOQA_RE.search(line)
-        if m is None:
-            continue
-        codes = m.group(1)
-        if codes is None:
-            out[lineno] = None
-        else:
+        for m in _NOQA_RE.finditer(comment):
+            codes = m.group(1)
+            if codes is None:
+                out[lineno] = None
+                continue
             ids = {c.strip().upper() for c in codes.split(",") if c.strip()}
-            out[lineno] = ids or None
-    return out
+            if not ids:
+                out[lineno] = None  # ``# repro: noqa()`` == blanket
+                continue
+            unknown = sorted(ids - KNOWN_RULE_IDS)
+            for bad in unknown:
+                meta.append(
+                    Violation(
+                        path=path,
+                        line=lineno,
+                        col=col + m.start() + 1,
+                        rule=META_RULE_ID,
+                        message=(
+                            f"unknown rule id '{bad}' in '# repro: noqa(...)'; "
+                            "this marker suppresses nothing — fix the id or "
+                            "remove it"
+                        ),
+                    )
+                )
+            known = ids & KNOWN_RULE_IDS
+            if known:
+                existing = out.get(lineno, "missing")
+                if existing is None:
+                    continue  # blanket already covers the line
+                if isinstance(existing, set):
+                    existing.update(known)
+                else:
+                    out[lineno] = set(known)
+    return out, meta
 
 
 def _select_rules(select: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
     if select is None:
         return RULES
     wanted = {s.strip().upper() for s in select if s.strip()}
-    unknown = wanted - {r.id for r in RULES}
+    # project-pass ids (REPRO110+) are legal selections that simply match no
+    # per-file rule; truly unknown ids are an invocation error
+    unknown = wanted - KNOWN_RULE_IDS
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
     return tuple(r for r in RULES if r.id in wanted)
@@ -113,7 +191,9 @@ def lint_source(
         )
         return result
     ctx = LintContext(path=path, tree=tree, source=source)
-    noqa = _noqa_lines(source)
+    noqa, meta = parse_noqa(source, path=path)
+    if select is None or any(s.strip().upper() == META_RULE_ID for s in select):
+        result.violations.extend(meta)
     seen: Set[Tuple[str, int, int, str]] = set()
     for rule in _select_rules(select):
         if not ctx.in_scope(rule.scope):

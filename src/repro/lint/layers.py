@@ -1,0 +1,261 @@
+"""Architecture layering gates (REPRO114).
+
+The intended dependency structure is *declared* in ``pyproject.toml`` as a
+package-level allow-list DAG::
+
+    [tool.repro.layers]
+    graph = []
+    flow = ["graph"]
+    filtering = ["core", "cutengine", "flow", "graph", "lint", "perf", "runtime"]
+    ...
+
+and this pass enforces it over the **module-scope** import graph
+(``TYPE_CHECKING`` blocks and function-local imports are exempt — deferred
+imports are the sanctioned cycle-break and never create an architecture
+edge).  Two finding shapes, both REPRO114:
+
+- **layering violation** — package A imports package B at module scope but
+  the declaration does not allow ``A -> B``;
+- **import cycle** — a strongly connected component in the module-level
+  import graph (these break under spawn-mode pickling and make initialization
+  order a landmine regardless of what the declaration allows).
+
+Configuration errors (a declared graph that is itself cyclic, or an entry
+naming an unknown package) surface as analysis errors, not findings — a
+broken declaration must fail CI loudly rather than silently gate nothing.
+Pre-existing violations are carried in the findings baseline
+(:mod:`.baseline`) so adoption is incremental.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import ProjectIndex
+from .rules import Violation
+
+__all__ = ["LayerConfig", "load_layer_config", "check_layering", "check_import_cycles"]
+
+
+class LayerConfig:
+    """Declared architecture DAG: package -> packages it may import."""
+
+    def __init__(self, allowed: Dict[str, Tuple[str, ...]]) -> None:
+        self.allowed = allowed
+
+    def validate(self) -> List[str]:
+        """Configuration problems (unknown targets, declared cycles)."""
+        problems: List[str] = []
+        for pkg, targets in sorted(self.allowed.items()):
+            for target in targets:
+                if target not in self.allowed:
+                    problems.append(
+                        f"[tool.repro.layers] {pkg!r} allows undeclared package {target!r}"
+                    )
+        cycle = self._find_cycle()
+        if cycle is not None:
+            problems.append(
+                "[tool.repro.layers] declared graph is not a DAG: "
+                + " -> ".join(cycle)
+            )
+        return problems
+
+    def _find_cycle(self) -> Optional[List[str]]:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {pkg: WHITE for pkg in self.allowed}
+        stack: List[str] = []
+
+        def visit(pkg: str) -> Optional[List[str]]:
+            color[pkg] = GRAY
+            stack.append(pkg)
+            for target in self.allowed.get(pkg, ()):
+                if color.get(target, BLACK) == GRAY:
+                    return stack[stack.index(target):] + [target]
+                if color.get(target, BLACK) == WHITE:
+                    found = visit(target)
+                    if found is not None:
+                        return found
+            stack.pop()
+            color[pkg] = BLACK
+            return None
+
+        for pkg in sorted(self.allowed):
+            if color[pkg] == WHITE:
+                found = visit(pkg)
+                if found is not None:
+                    return found
+        return None
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in [cur, *cur.parents]:
+        p = candidate / "pyproject.toml"
+        if p.is_file():
+            return p
+    return None
+
+
+def load_layer_config(pyproject: Path) -> Optional[LayerConfig]:
+    """The ``[tool.repro.layers]`` table, or None when not declared."""
+    with pyproject.open("rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro", {}).get("layers")
+    if not isinstance(table, dict) or not table:
+        return None
+    allowed: Dict[str, Tuple[str, ...]] = {}
+    for pkg, targets in table.items():
+        if not isinstance(targets, list):
+            raise ValueError(
+                f"[tool.repro.layers] entry {pkg!r} must be a list of package names"
+            )
+        allowed[str(pkg)] = tuple(str(t) for t in targets)
+    return LayerConfig(allowed)
+
+
+def _package_of_target(index: ProjectIndex, target: str) -> Optional[str]:
+    """The first-level subpackage a dotted import lands in (None if external)."""
+    mod = index.modules.get(target)
+    if mod is None:
+        # ``from repro.filtering.pipeline import X`` resolves directly; a bare
+        # ``import repro.filtering`` may name the package __init__
+        parts = target.split(".")
+        while parts and ".".join(parts) not in index.modules:
+            parts.pop()
+        if not parts:
+            return None
+        mod = index.modules[".".join(parts)]
+    return mod.package or None
+
+
+def check_layering(
+    index: ProjectIndex,
+    config: LayerConfig,
+    display_paths: Dict[str, str],
+) -> Iterator[Violation]:
+    """REPRO114: module-scope imports must follow the declared DAG."""
+    for mod_name in sorted(index.modules):
+        mod = index.modules[mod_name]
+        src_pkg = mod.package
+        if not src_pkg:
+            continue  # top-level driver modules (cli, __init__) are unscoped
+        allowed = config.allowed.get(src_pkg)
+        if allowed is None:
+            continue  # undeclared package: validate() reports config gaps
+        for edge in mod.imports:
+            dst_pkg = _package_of_target(index, edge.target)
+            if dst_pkg is None or dst_pkg == src_pkg:
+                continue
+            if dst_pkg not in allowed:
+                yield Violation(
+                    path=display_paths.get(mod_name, str(mod.path)),
+                    line=edge.lineno,
+                    col=1,
+                    rule="REPRO114",
+                    message=(
+                        f"layering: '{src_pkg}' may not import '{dst_pkg}' "
+                        f"(module {mod_name} imports {edge.target}); allowed "
+                        f"targets: {sorted(allowed)}"
+                    ),
+                )
+
+
+def check_import_cycles(
+    index: ProjectIndex, display_paths: Dict[str, str]
+) -> Iterator[Violation]:
+    """REPRO114: strongly connected components in the module import graph."""
+    graph: Dict[str, Set[str]] = {name: set() for name in index.modules}
+    for mod_name, mod in index.modules.items():
+        for edge in mod.imports:
+            target = edge.target
+            parts = target.split(".")
+            while parts and ".".join(parts) not in index.modules:
+                parts.pop()
+            if not parts:
+                continue
+            resolved = ".".join(parts)
+            if resolved != mod_name:
+                graph[mod_name].add(resolved)
+            # ``from pkg import name`` may bind pkg.name submodules
+            if edge.is_from:
+                for name in edge.names:
+                    sub = f"{target}.{name}"
+                    if sub in index.modules and sub != mod_name:
+                        graph[mod_name].add(sub)
+    for component in _strongly_connected(graph):
+        if len(component) < 2:
+            continue
+        members = sorted(component)
+        anchor = index.modules[members[0]]
+        first_line = 1
+        for edge in anchor.imports:
+            target_parts = edge.target.split(".")
+            while target_parts and ".".join(target_parts) not in index.modules:
+                target_parts.pop()
+            if target_parts and ".".join(target_parts) in component:
+                first_line = edge.lineno
+                break
+        yield Violation(
+            path=display_paths.get(members[0], str(anchor.path)),
+            line=first_line,
+            col=1,
+            rule="REPRO114",
+            message=(
+                "module-scope import cycle: " + " <-> ".join(members)
+                + "; break it with a deferred (function-local) import"
+            ),
+        )
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Tarjan SCCs, iterative, deterministic order."""
+    index_counter = 0
+    indices: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[Set[str]] = []
+
+    for root in sorted(graph):
+        if root in indices:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                indices[node] = lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = sorted(graph.get(node, ()))
+            advanced = False
+            for i in range(child_i, len(children)):
+                child = children[i]
+                if child not in indices:
+                    work[-1] = (node, i + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == indices[node]:
+                component: Set[str] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == node:
+                        break
+                result.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result

@@ -11,7 +11,7 @@ import json
 from typing import Any, Dict, List
 
 from .engine import LintResult
-from .rules import RULES
+from .rules import PROJECT_RULES, RULES
 
 __all__ = ["format_text", "format_json", "format_rule_list"]
 
@@ -23,11 +23,17 @@ def format_text(result: LintResult) -> str:
         lines.append(f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}")
     for err in result.errors:
         lines.append(f"{err.path}: error: {err.message}")
+    for stale in result.stale_baseline:
+        lines.append(f"stale baseline entry (fixed? retire it): {stale}")
     n = len(result.violations)
     summary = (
         f"{result.files_checked} file(s) checked, "
         f"{n} violation(s), {result.suppressed} suppressed"
     )
+    if result.baselined:
+        summary += f", {result.baselined} baselined"
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entr(y/ies)"
     if result.errors:
         summary += f", {len(result.errors)} error(s)"
     lines.append(summary)
@@ -52,6 +58,8 @@ def format_json(result: LintResult) -> str:
             "files_checked": result.files_checked,
             "violations": len(result.violations),
             "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "stale_baseline": list(result.stale_baseline),
             "errors": len(result.errors),
             "exit_code": result.exit_code,
         },
@@ -64,4 +72,6 @@ def format_rule_list() -> str:
     lines = []
     for rule in RULES:
         lines.append(f"{rule.id}  [{rule.scope:<11}]  {rule.name}: {rule.description}")
+    for info in PROJECT_RULES:
+        lines.append(f"{info.id}  [{info.scope:<11}]  {info.name}: {info.description}")
     return "\n".join(lines)

@@ -26,7 +26,18 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Violation", "LintContext", "Rule", "RULES", "RULES_BY_ID"]
+__all__ = [
+    "Violation",
+    "LintContext",
+    "Rule",
+    "RULES",
+    "RULES_BY_ID",
+    "ProjectRuleInfo",
+    "PROJECT_RULES",
+    "PROJECT_RULES_BY_ID",
+    "KNOWN_RULE_IDS",
+    "META_RULE_ID",
+]
 
 #: path segments that mark a module as algorithmic (bit-reproducible output)
 ALGORITHMIC_PACKAGES = (
@@ -674,3 +685,64 @@ RULES: Tuple[Rule, ...] = (
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class ProjectRuleInfo:
+    """Catalog entry for a whole-project pass (implemented outside this module).
+
+    The project passes need cross-file state (call graph, test index,
+    layer declaration) that a per-file :class:`Rule` never sees; their
+    implementations live in :mod:`.dataflow`, :mod:`.contracts` and
+    :mod:`.layers`, but their *identities* are declared here so the noqa
+    validator, ``--select``, and ``--list-rules`` know the full id space.
+    """
+
+    id: str
+    name: str
+    description: str
+    scope: str = "project"
+
+
+#: the meta-rule: problems with suppression comments themselves
+META_RULE_ID = "REPRO000"
+
+PROJECT_RULES: Tuple[ProjectRuleInfo, ...] = (
+    ProjectRuleInfo(
+        "REPRO110", "rng-reaches-entrypoint",
+        "unseeded RNG constructor reachable from an algorithmic entrypoint",
+    ),
+    ProjectRuleInfo(
+        "REPRO111", "wall-clock-taint",
+        "wall-clock read in a helper reachable from an algorithmic entrypoint",
+    ),
+    ProjectRuleInfo(
+        "REPRO112", "generator-pool-payload",
+        "np.random.Generator crossing a process boundary in a pool payload",
+    ),
+    ProjectRuleInfo(
+        "REPRO113", "cutcache-key-provenance",
+        "CutCache key not derived from a network fingerprint",
+    ),
+    ProjectRuleInfo(
+        "REPRO114", "layering",
+        "module-scope import violates the declared architecture DAG or cycles",
+    ),
+    ProjectRuleInfo(
+        "REPRO115", "twin-drift",
+        "vectorized kernel and its *_reference twin drifted or lack a shared test",
+    ),
+    ProjectRuleInfo(
+        "REPRO116", "engine-conformance",
+        "registered cut engine incomplete or missing conformance coverage",
+    ),
+)
+
+PROJECT_RULES_BY_ID: Dict[str, ProjectRuleInfo] = {r.id: r for r in PROJECT_RULES}
+
+#: every id a ``repro: noqa(...)`` suppression comment may legally name
+KNOWN_RULE_IDS = frozenset(
+    {rule.id for rule in RULES}
+    | {info.id for info in PROJECT_RULES}
+    | {META_RULE_ID}
+)

@@ -54,6 +54,15 @@ class TestPartition:
         with pytest.raises(ValueError):
             Partition(g, np.asarray([0, 1]))
 
+    def test_boundary_of_and_members_of(self):
+        g = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        p = Partition(g, np.asarray([0, 0, 1, 1]))
+        assert p.members_of(0).tolist() == [0, 1]
+        assert p.members_of(1).tolist() == [2, 3]
+        # only the endpoints of the single cut edge (1, 2) are boundary
+        assert p.boundary_of(0).tolist() == [1]
+        assert p.boundary_of(1).tolist() == [2]
+
 
 class TestRunPunch:
     def test_road_network_end_to_end(self, road_small):

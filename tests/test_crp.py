@@ -65,6 +65,20 @@ class TestOverlay:
         assert set(ov.adj) == expected
         assert ov.cut_edges == len(p.cut_edges)
 
+    def test_cells_of_and_as_csr(self):
+        g, p = self._setup()
+        ov = build_overlay(p)
+        for v in list(ov.adj)[:10]:
+            assert ov.cells_of(v) == int(p.labels[v])
+        xadj, dst, w = ov.as_csr()
+        assert len(xadj) == g.n + 1 and int(xadj[-1]) == len(dst) == len(w)
+        for v, lst in ov.adj.items():
+            lo, hi = int(xadj[v]), int(xadj[v + 1])
+            assert [(int(u), float(x)) for u, x in zip(dst[lo:hi], w[lo:hi])] == [
+                (int(u), float(x)) for u, x in lst
+            ]
+        assert ov.as_csr() is not None  # memoized second call
+
     def test_clique_weights_are_in_cell_distances(self):
         g, p = self._setup()
         ov = build_overlay(p)

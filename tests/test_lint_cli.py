@@ -1,0 +1,191 @@
+"""CLI contract tests: exit codes, JSON schema stability, baseline lifecycle."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+CLEAN = "def f(x):\n    return x + 1\n"
+# an unknown id in a suppression marker is a REPRO000 violation (exit 1)
+DIRTY = "def f(x):\n    return x + 1  # repro: noqa(REPRO999)\n"
+BROKEN = "def f(:\n"
+
+
+def write(tmp_path, name, source):
+    p = tmp_path / name
+    p.write_text(source)
+    return str(p)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        assert main([write(tmp_path, "a.py", CLEAN)]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_violation_exits_1(self, tmp_path, capsys):
+        assert main([write(tmp_path, "a.py", DIRTY)]) == 1
+        assert "REPRO000" in capsys.readouterr().out
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        assert main([write(tmp_path, "a.py", BROKEN)]) == 2
+        assert "syntax error" in capsys.readouterr().out
+
+    def test_unknown_select_exits_2(self, tmp_path, capsys):
+        assert main(["--select", "NOPE123", write(tmp_path, "a.py", CLEAN)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_list_rules_exits_0(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        # per-file and project rules both listed
+        assert "REPRO101" in out and "REPRO110" in out and "REPRO115" in out
+
+
+class TestJsonSchema:
+    def test_document_shape_is_stable(self, tmp_path, capsys):
+        code = main(["--format", "json", write(tmp_path, "a.py", DIRTY)])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"violations", "errors", "summary"}
+        assert set(doc["summary"]) == {
+            "files_checked",
+            "violations",
+            "suppressed",
+            "baselined",
+            "stale_baseline",
+            "errors",
+            "exit_code",
+        }
+        (v,) = doc["violations"]
+        assert set(v) == {"path", "line", "col", "rule", "message"}
+        assert v["rule"] == "REPRO000"
+        assert doc["summary"]["exit_code"] == 1
+
+    def test_json_is_sorted_and_deterministic(self, tmp_path, capsys):
+        path = write(tmp_path, "a.py", DIRTY + DIRTY.replace("f", "g"))
+        main(["--format", "json", path])
+        first = capsys.readouterr().out
+        main(["--format", "json", path])
+        assert capsys.readouterr().out == first
+
+
+class TestNoqaParsing:
+    def test_multiple_ids_on_one_line(self):
+        from repro.lint.engine import parse_noqa
+
+        noqa, meta = parse_noqa("x = f()  # repro: noqa(REPRO101, repro102)\n")
+        assert noqa == {1: {"REPRO101", "REPRO102"}}
+        assert meta == []
+
+    def test_mixed_known_and_unknown_ids(self):
+        from repro.lint.engine import parse_noqa
+
+        noqa, meta = parse_noqa("x = f()  # repro: noqa(REPRO101, REPRO999)\n")
+        assert noqa == {1: {"REPRO101"}}  # the known id still suppresses
+        (m,) = meta
+        assert m.rule == "REPRO000" and "REPRO999" in m.message
+
+    def test_blanket_marker_wins(self):
+        from repro.lint.engine import parse_noqa
+
+        noqa, _ = parse_noqa(
+            "x = f()  # repro: noqa(REPRO101)  # repro: noqa\n"
+        )
+        assert noqa == {1: None}
+
+    def test_unknown_id_does_not_silently_pass(self, tmp_path, capsys):
+        assert main([write(tmp_path, "a.py", DIRTY)]) == 1
+        assert "suppresses nothing" in capsys.readouterr().out
+
+    def test_docstring_mention_is_not_a_marker(self, tmp_path, capsys):
+        src = '"""Suppress with ``# repro: noqa(RULE)`` markers."""\nX = 1\n'
+        assert main([write(tmp_path, "a.py", src)]) == 0
+
+
+@pytest.fixture()
+def fixture_project(tmp_path):
+    """A tiny project with exactly one REPRO110 finding."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='p'\nversion='0'\n")
+    pkg = tmp_path / "proj"
+    (pkg / "filtering").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "filtering" / "__init__.py").write_text("")
+    entry = pkg / "filtering" / "pipeline.py"
+    entry.write_text(
+        "import numpy as np\n"
+        "def run_filtering(g):\n"
+        "    rng = np.random.default_rng()\n"
+        "    return rng\n"
+    )
+    (tmp_path / "tests").mkdir()
+    return tmp_path, pkg, entry
+
+
+class TestBaselineRoundTrip:
+    def test_add_then_expire(self, fixture_project, capsys):
+        root, pkg, entry = fixture_project
+        baseline = root / "lint_baseline.json"
+
+        # 1. the finding fails the gate
+        assert main(["--project", str(pkg)]) == 1
+        assert "REPRO110" in capsys.readouterr().out
+
+        # 2. accept it into the baseline -> gate passes, reason is mandatory
+        assert main(["--project", str(pkg), "--write-baseline"]) == 0
+        capsys.readouterr()
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 1 and len(doc["entries"]) == 1
+        assert doc["entries"][0]["rule"] == "REPRO110"
+        assert doc["entries"][0]["reason"]  # placeholder, but present
+
+        assert main(["--project", str(pkg)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # 3. --no-baseline still reports the debt
+        assert main(["--project", str(pkg), "--no-baseline"]) == 1
+        capsys.readouterr()
+
+        # 4. fix the finding -> the stale entry is called out for retirement
+        entry.write_text(
+            "import numpy as np\n"
+            "def run_filtering(g):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    return rng\n"
+        )
+        assert main(["--project", str(pkg)]) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+
+        # 5. rewriting the baseline retires it
+        assert main(["--project", str(pkg), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert json.loads(baseline.read_text())["entries"] == []
+
+    def test_reason_carried_across_rewrite(self, fixture_project, capsys):
+        root, pkg, _ = fixture_project
+        baseline = root / "lint_baseline.json"
+        assert main(["--project", str(pkg), "--write-baseline"]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["entries"][0]["reason"] = "vetted: fixture convenience ctor"
+        baseline.write_text(json.dumps(doc))
+        assert main(["--project", str(pkg), "--write-baseline"]) == 0
+        capsys.readouterr()
+        doc2 = json.loads(baseline.read_text())
+        assert doc2["entries"][0]["reason"] == "vetted: fixture convenience ctor"
+
+    def test_baseline_without_reason_is_rejected(self, fixture_project, capsys):
+        root, pkg, _ = fixture_project
+        (root / "lint_baseline.json").write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": "x.py", "rule": "REPRO110", "message": "m", "reason": ""}],
+        }))
+        assert main(["--project", str(pkg)]) == 2
+        assert "reason" in capsys.readouterr().out
+
+    def test_project_json_format(self, fixture_project, capsys):
+        _, pkg, _ = fixture_project
+        assert main(["--project", str(pkg), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["violations"] == 1
+        assert doc["violations"][0]["rule"] == "REPRO110"
